@@ -1,0 +1,145 @@
+// Command deploy exercises the edge-deployment path end to end: train a
+// configuration briefly on the synthetic corpus, export it to the
+// ONNX-like container, reload it with the standalone inference runtime,
+// verify prediction agreement, and time CPU inference next to the
+// per-device latency predictions.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"drainnas/internal/dataset"
+	"drainnas/internal/geodata"
+	"drainnas/internal/infer"
+	"drainnas/internal/latmeter"
+	"drainnas/internal/nn"
+	"drainnas/internal/onnxsize"
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+func main() {
+	var (
+		channels = flag.Int("channels", 5, "input channels (5 or 7)")
+		kernel   = flag.Int("kernel", 3, "stem kernel size")
+		stride   = flag.Int("stride", 2, "stem stride")
+		padding  = flag.Int("padding", 1, "stem padding")
+		pool     = flag.Int("pool", 1, "stem max-pool choice (0/1)")
+		width    = flag.Int("width", 32, "initial output feature width")
+		epochs   = flag.Int("epochs", 4, "training epochs before export")
+		chip     = flag.Int("chip", 32, "chip size")
+		scale    = flag.Int("scale", 150, "corpus scale divisor")
+		out      = flag.String("out", "", "also write the container to this file")
+	)
+	flag.Parse()
+
+	cfg := resnet.Config{
+		Channels: *channels, Batch: 8,
+		KernelSize: *kernel, Stride: *stride, Padding: *padding,
+		PoolChoice: *pool, KernelSizePool: 3, StridePool: 2,
+		InitialOutputFeature: *width, NumClasses: 2,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+
+	fmt.Printf("training %s for %d epochs on a miniature corpus...\n", cfg.Key(), *epochs)
+	corpus := geodata.GenerateCorpus(geodata.CorpusOptions{ChipSize: *chip, Scale: *scale, Seed: 9})
+	x, labels := corpus.Tensors(*channels)
+	data := dataset.New(x, labels)
+	stats := data.ComputeStats()
+	data.Normalize(stats)
+
+	rng := tensor.NewRNG(9)
+	model, err := resnet.New(cfg, rng)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	opt := nn.NewSGD(model.Params(), 0.02, 0.9, 1e-4)
+	for e := 0; e < *epochs; e++ {
+		for _, idxs := range data.Batches(cfg.Batch, rng) {
+			bx, by := data.Batch(idxs)
+			logits := model.Forward(bx, true)
+			_, grad := nn.CrossEntropy(logits, by)
+			nn.ZeroGrad(model.Params())
+			model.Backward(grad)
+			opt.Step()
+		}
+	}
+
+	var buf bytes.Buffer
+	n, err := onnxsize.Export(model, &buf)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Printf("exported container: %.2f MB (%d bytes)\n", float64(n)/1e6, n)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			log.Fatalf("deploy: %v", err)
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+
+	rt, err := infer.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Printf("runtime loaded: %s (%d input channels)\n\n", rt.GraphName(), rt.InputChannels())
+
+	// Agreement check over a batch spread across the corpus (it is ordered
+	// by region and label, so strided sampling mixes both classes).
+	var probeIdx []int
+	strideN := data.Len() / 8
+	if strideN < 1 {
+		strideN = 1
+	}
+	for i := 0; i < data.Len() && len(probeIdx) < 8; i += strideN {
+		probeIdx = append(probeIdx, i)
+	}
+	probe, probeLabels := data.Batch(probeIdx)
+	modelPreds := tensor.ArgMaxRows(model.Forward(probe, false))
+	rtPreds, err := rt.Classify(probe)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	agree := 0
+	for i := range modelPreds {
+		if modelPreds[i] == rtPreds[i] {
+			agree++
+		}
+	}
+	fmt.Printf("prediction agreement (runtime vs training model): %d/%d\n", agree, len(modelPreds))
+	correct := 0
+	for i, p := range rtPreds {
+		if p == probeLabels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("runtime accuracy on probe batch: %d/%d\n\n", correct, len(rtPreds))
+
+	// Batch-1 CPU timing next to the device predictions.
+	single, _ := data.Batch([]int{0})
+	const reps = 10
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := rt.Forward(single); err != nil {
+			log.Fatalf("deploy: %v", err)
+		}
+	}
+	hostMS := float64(time.Since(start).Microseconds()) / 1000 / reps
+	fmt.Printf("host CPU inference (batch 1, %dpx): %.2f ms\n", *chip, hostMS)
+	pred, err := latmeter.Predict(cfg, *chip)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Printf("predicted edge-device latency at %dpx:\n", *chip)
+	for _, d := range latmeter.Devices() {
+		fmt.Printf("  %-14s %8.2f ms\n", d.Name, pred.PerDevice[d.Name])
+	}
+	fmt.Printf("  mean %.2f ms  std %.2f ms\n", pred.MeanMS, pred.StdMS)
+}

@@ -1,0 +1,167 @@
+// Command nascli runs the NAS experiment: enumerate the search space
+// (-enumerate, the textual Figure 2), run the full surrogate-backed sweep
+// (default), or run real training on a miniature corpus (-backend=train).
+// Results stream to a JSON-lines journal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"drainnas/internal/dataset"
+	"drainnas/internal/geodata"
+	"drainnas/internal/nas"
+	"drainnas/internal/surrogate"
+)
+
+// runMultiFidelity executes the successive-halving or Hyperband strategy,
+// which manage their own budgets, and prints the outcome.
+func runMultiFidelity(strategy string, combos []nas.InputCombo, eval nas.Evaluator, workers int) {
+	be, ok := eval.(nas.BudgetedEvaluator)
+	if !ok {
+		log.Fatalf("nascli: %s needs a budget-capable evaluator (surrogate backend)", strategy)
+	}
+	for _, combo := range combos {
+		switch strategy {
+		case "sh":
+			space := nas.PaperSpace()
+			sh, err := nas.SuccessiveHalving(space.Enumerate(combo), be, nas.SHOptions{Eta: 2, MinBudget: 0.25, Workers: workers})
+			if err != nil {
+				log.Fatalf("nascli: %v", err)
+			}
+			fmt.Printf("%dch/b%d successive halving: best %.2f%%  %s  (budget %.1f full evals vs 288 grid)\n",
+				combo.Channels, combo.Batch, sh.Survivors[0].Accuracy, sh.Survivors[0].Config.Key(), sh.TotalBudget)
+		case "hyperband":
+			hb, err := nas.Hyperband(be, nas.HyperbandOptions{Combo: combo, Seed: 1, Workers: workers})
+			if err != nil {
+				log.Fatalf("nascli: %v", err)
+			}
+			fmt.Printf("%dch/b%d hyperband: best %.2f%%  %s  (%d brackets, budget %.1f full evals)\n",
+				combo.Channels, combo.Batch, hb.Best.Accuracy, hb.Best.Config.Key(), len(hb.Brackets), hb.TotalBudget)
+		}
+	}
+}
+
+func main() {
+	var (
+		enumerate = flag.Bool("enumerate", false, "print the search space (Figure 2) and exit")
+		backend   = flag.String("backend", "surrogate", "accuracy backend: surrogate | train")
+		strategy  = flag.String("strategy", "grid", "search strategy: grid | random | evolution | hyperband | sh")
+		budgetN   = flag.Int("n", 60, "random strategy: sample count; evolution: cycles")
+		channels  = flag.Int("channels", 0, "restrict to one channel count (0 = both)")
+		batch     = flag.Int("batch", 0, "restrict to one batch size (0 = all)")
+		limit     = flag.Int("limit", 0, "cap the number of trials (0 = all)")
+		journal   = flag.String("journal", "", "write the trial journal to this file")
+		workers   = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
+		chip      = flag.Int("chip", 32, "train backend: chip size")
+		scale     = flag.Int("scale", 300, "train backend: corpus scale divisor")
+		epochs    = flag.Int("epochs", 2, "train backend: epochs per fold")
+		folds     = flag.Int("folds", 2, "train backend: cross-validation folds")
+	)
+	flag.Parse()
+
+	space := nas.PaperSpace()
+	if *enumerate {
+		fmt.Println(space.Describe())
+		all := space.EnumerateAll(nas.PaperInputCombos())
+		uniq := nas.UniqueConfigs(all)
+		valid, failed := nas.ValidTrials(all)
+		fmt.Printf("\nraw trials: %d (6 input combos x %d)\n", len(all), space.RawSize())
+		fmt.Printf("distinct networks: %d\n", len(uniq))
+		fmt.Printf("valid outcomes after attrition: %d (%d lost; paper: %d)\n",
+			len(valid), len(failed), nas.PaperValidTrialCount)
+		return
+	}
+
+	combos := nas.PaperInputCombos()
+	var filtered []nas.InputCombo
+	for _, c := range combos {
+		if (*channels == 0 || c.Channels == *channels) && (*batch == 0 || c.Batch == *batch) {
+			filtered = append(filtered, c)
+		}
+	}
+	configs := space.EnumerateAll(filtered)
+	if *limit > 0 && len(configs) > *limit {
+		configs = configs[:*limit]
+	}
+
+	var eval nas.Evaluator
+	switch *backend {
+	case "surrogate":
+		eval = nas.SurrogateEvaluator{Model: surrogate.Default()}
+	case "train":
+		if *channels == 0 {
+			log.Fatal("nascli: -backend=train requires -channels=5 or 7 (one corpus per channel count)")
+		}
+		fmt.Printf("generating corpus (chip %d, scale 1/%d)...\n", *chip, *scale)
+		corpus := geodata.GenerateCorpus(geodata.CorpusOptions{ChipSize: *chip, Scale: *scale, Seed: 1})
+		x, labels := corpus.Tensors(*channels)
+		eval = nas.TrainEvaluator{Data: dataset.New(x, labels), Opts: nas.TrainOptions{
+			Epochs: *epochs, Folds: *folds, LR: 0.02, Momentum: 0.9, WeightDecay: 1e-4, Seed: 1,
+		}}
+	default:
+		log.Fatalf("nascli: unknown backend %q", *backend)
+	}
+
+	// Non-grid strategies operate per input combination.
+	switch *strategy {
+	case "grid":
+		// keep the enumerated configs
+	case "random":
+		configs = nil
+		for _, c := range filtered {
+			configs = append(configs, nas.RandomStrategy{N: *budgetN, Seed: 1}.Select(space, c)...)
+		}
+	case "evolution":
+		configs = nil
+		for _, c := range filtered {
+			evo := nas.EvolutionStrategy{Population: 12, Cycles: *budgetN, SampleSize: 3, Seed: 1, Evaluator: eval}
+			configs = append(configs, evo.Select(space, c)...)
+		}
+	case "hyperband", "sh":
+		runMultiFidelity(*strategy, filtered, eval, *workers)
+		return
+	default:
+		log.Fatalf("nascli: unknown strategy %q", *strategy)
+	}
+
+	fmt.Printf("running %d trials (%s backend, %s strategy)...\n", len(configs), *backend, *strategy)
+	start := time.Now()
+	results := nas.Experiment(configs, eval, nas.ExperimentOptions{
+		Workers:           *workers,
+		SimulateAttrition: *backend == "surrogate" && *strategy == "grid",
+		Progress: func(done, total int) {
+			if done%200 == 0 || done == total {
+				fmt.Printf("  %d/%d trials\n", done, total)
+			}
+		},
+	})
+	elapsed := time.Since(start)
+
+	ok := nas.Succeeded(results)
+	fmt.Printf("\n%d/%d trials succeeded in %s (%.1f trials/s)\n",
+		len(ok), len(results), elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds())
+	best, found := nas.BestByAccuracy(results)
+	if found {
+		fmt.Printf("best: %.2f%%  %s\n", best.Accuracy, best.Config.Key())
+	}
+	fmt.Println("\ntop 5 trials:")
+	for _, r := range nas.TopK(results, 5) {
+		fmt.Printf("  %.2f%%  %s\n", r.Accuracy, r.Config.Key())
+	}
+
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			log.Fatalf("nascli: %v", err)
+		}
+		defer f.Close()
+		if err := nas.WriteJournal(f, results); err != nil {
+			log.Fatalf("nascli: %v", err)
+		}
+		fmt.Printf("\njournal written to %s\n", *journal)
+	}
+}

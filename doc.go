@@ -1,0 +1,13 @@
+// Package drainnas reproduces "Pareto Optimization of CNN Models via
+// Hardware-Aware Neural Architecture Search for Drainage Crossing
+// Classification on Resource-Limited Devices" (SC-W 2023) as a pure-Go
+// system: a parallel CNN training engine, a synthetic HRDEM/orthophoto
+// drainage-crossing corpus, an NNI-style NAS driver, an nn-Meter-style
+// kernel latency predictor for four edge devices, ONNX-size memory
+// measurement, and three-objective Pareto front analysis.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper; the implementation
+// lives under internal/ and the public entry points are the cmd/ tools and
+// examples/.
+package drainnas

@@ -1,0 +1,81 @@
+// Multi-objective search: instead of the paper's exhaustive 288-trial grid
+// plus post-hoc Pareto extraction, search the space directly with NSGA-II
+// and compare fronts and budgets. Also demonstrates the energy-extended
+// 4-objective analysis for battery-powered deployments.
+//
+//	go run ./examples/multiobjective_search
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drainnas/internal/core"
+	"drainnas/internal/nas"
+	"drainnas/internal/pareto"
+	"drainnas/internal/surrogate"
+)
+
+func main() {
+	combo := nas.InputCombo{Channels: 7, Batch: 16}
+	eval := nas.SurrogateEvaluator{Model: surrogate.Default()}
+
+	// Reference: the exhaustive grid for this input combination.
+	grid, err := core.Run(core.Options{Combos: []nas.InputCombo{combo}, Evaluator: eval})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gridFront := grid.NonDominated()
+
+	// NSGA-II with a fraction of the evaluations.
+	nsga, err := core.NSGA2(core.NSGA2Options{
+		Combo: combo, Evaluator: eval,
+		Population: 24, Generations: 10, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("grid:    %d evaluations -> %d-point front, best %.2f%%\n",
+		grid.RawTrials, len(gridFront), gridFront[0].Accuracy)
+	fmt.Printf("NSGA-II: %d evaluations -> %d-point front, best %.2f%%\n\n",
+		nsga.Evaluated, len(nsga.Front), nsga.Front[0].Accuracy)
+
+	// Front quality under a shared hypervolume reference.
+	gridPts := grid.Points()
+	ref := pareto.ReferenceFromWorst(gridPts, core.Objectives, 0.05)
+	toPoints := func(trials []core.Trial) []pareto.Point {
+		pts := make([]pareto.Point, len(trials))
+		for i, t := range trials {
+			pts[i] = pareto.Point{ID: i, Values: []float64{t.Accuracy, t.LatencyMS, t.MemoryMB}}
+		}
+		return pts
+	}
+	hvGrid := pareto.Hypervolume(toPoints(gridFront), core.Objectives, ref)
+	hvNSGA := pareto.Hypervolume(toPoints(nsga.Front), core.Objectives, ref)
+	fmt.Printf("hypervolume: grid %.1f, NSGA-II %.1f (%.1f%% captured with %.1f%% of the budget)\n\n",
+		hvGrid, hvNSGA, 100*hvNSGA/hvGrid, 100*float64(nsga.Evaluated)/float64(grid.RawTrials))
+
+	fmt.Println("NSGA-II front:")
+	for _, t := range nsga.Front {
+		c := t.Config
+		fmt.Printf("  acc %.2f%%  lat %6.2f ms  mem %.2f MB  energy %6.1f mJ   k=%d s=%d p=%d pool=%d f=%d\n",
+			t.Accuracy, t.LatencyMS, t.MemoryMB, t.EnergyMJ,
+			c.KernelSize, c.Stride, c.Padding, c.PoolChoice, c.InitialOutputFeature)
+	}
+
+	// Knee point: the conventional single pick from the front.
+	pts := toPoints(nsga.Front)
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	knee := pareto.KneePoint(pts, all, core.Objectives)
+	fmt.Printf("\nknee point (best compromise): acc %.2f%%, lat %.2f ms, mem %.2f MB\n",
+		nsga.Front[knee].Accuracy, nsga.Front[knee].LatencyMS, nsga.Front[knee].MemoryMB)
+
+	// Energy-extended analysis over the grid's trials.
+	front4 := grid.NonDominatedWithEnergy()
+	fmt.Printf("\n4-objective (adding energy) front over the grid: %d members (3-objective front: %d)\n",
+		len(front4), len(gridFront))
+}

@@ -1,0 +1,68 @@
+// Quickstart: the full hardware-aware NAS pipeline in one page.
+//
+// Runs a pruned search space (the paper's §5 suggestion: padding fixed to 1)
+// with the surrogate accuracy backend, predicts latency on the four device
+// profiles, measures ONNX memory, and prints the Pareto-optimal solutions
+// next to the stock ResNet-18 baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drainnas/internal/core"
+	"drainnas/internal/nas"
+	"drainnas/internal/report"
+	"drainnas/internal/surrogate"
+)
+
+func main() {
+	// 1. A pruned search space keeps the quickstart fast: one input combo,
+	//    padding fixed to 1 → 96 raw trials.
+	space := nas.PaperSpace()
+	space.Paddings = []int{1}
+	combos := []nas.InputCombo{{Channels: 7, Batch: 16}}
+
+	// 2. The surrogate evaluator scores candidate accuracy; swap in
+	//    nas.TrainEvaluator to train for real (see examples/nas_search).
+	eval := nas.SurrogateEvaluator{Model: surrogate.Default()}
+
+	// 3. Run the pipeline: NAS sweep → latency prediction → memory
+	//    measurement → Pareto front.
+	res, err := core.Run(core.Options{Space: space, Combos: combos, Evaluator: eval})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d trials, %d valid, %d non-dominated\n\n",
+		res.RawTrials, len(res.Trials), len(res.FrontIdx))
+
+	// 4. The non-dominated solutions: the models worth deploying.
+	fmt.Println(report.Table4(res).Render())
+
+	// 5. Compare against the conventional ResNet-18.
+	baselines, err := core.Baselines(combos, eval, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Table5(baselines).Render())
+
+	// Among the front members with baseline-comparable accuracy, pick the
+	// fastest and report its win over the stock model.
+	b := baselines[0]
+	var best *core.Trial
+	for i := range res.NonDominated() {
+		t := res.NonDominated()[i]
+		if t.Accuracy >= b.Accuracy-0.5 && (best == nil || t.LatencyMS < best.LatencyMS) {
+			tt := t
+			best = &tt
+		}
+	}
+	if best == nil {
+		fmt.Println("no front member matches the baseline's accuracy")
+		return
+	}
+	fmt.Printf("best efficient front member vs stock ResNet-18: %.2fx faster, %.2fx smaller, %+.2f accuracy points\n",
+		b.LatencyMS/best.LatencyMS, b.MemoryMB/best.MemoryMB, best.Accuracy-b.Accuracy)
+}

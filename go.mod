@@ -1,0 +1,3 @@
+module drainnas
+
+go 1.22

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"drainnas/internal/nas"
+	"drainnas/internal/pareto"
+)
+
+func TestNSGA2FindsGoodFrontCheaply(t *testing.T) {
+	combo := nas.InputCombo{Channels: 7, Batch: 16}
+	res, err := NSGA2(NSGA2Options{
+		Combo:      combo,
+		Evaluator:  surrogateEval(),
+		Population: 24, Generations: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty NSGA-II front")
+	}
+	// Budget must be well below the 288-config grid.
+	if res.Evaluated >= 288 {
+		t.Fatalf("NSGA-II evaluated %d configs — no cheaper than grid", res.Evaluated)
+	}
+
+	// Compare against the exhaustive sweep's front for the same combo.
+	grid, err := Run(Options{
+		Combos:    []nas.InputCombo{combo},
+		Evaluator: surrogateEval(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridFront := grid.NonDominated()
+	// NSGA-II's best accuracy within 1 point of the grid's best.
+	if res.Front[0].Accuracy < gridFront[0].Accuracy-1.0 {
+		t.Fatalf("NSGA-II best %.2f vs grid best %.2f", res.Front[0].Accuracy, gridFront[0].Accuracy)
+	}
+	// Hypervolume comparison: NSGA-II's front should capture most of the
+	// grid front's hypervolume under a shared reference.
+	gridPts := trialPoints(grid.Trials)
+	ref := pareto.ReferenceFromWorst(gridPts, Objectives, 0.05)
+	hvGrid := pareto.Hypervolume(frontPoints(gridFront), Objectives, ref)
+	hvNSGA := pareto.Hypervolume(frontPoints(res.Front), Objectives, ref)
+	if hvNSGA < 0.85*hvGrid {
+		t.Fatalf("NSGA-II hypervolume %.1f below 85%% of grid's %.1f", hvNSGA, hvGrid)
+	}
+}
+
+func frontPoints(trials []Trial) []pareto.Point {
+	return trialPoints(trials)
+}
+
+func TestNSGA2FrontIsNonDominatedAndSorted(t *testing.T) {
+	res, err := NSGA2(NSGA2Options{
+		Evaluator:  surrogateEval(),
+		Population: 16, Generations: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := frontPoints(res.Front)
+	for i := range pts {
+		for j := range pts {
+			if i != j && pareto.Dominates(pts[j], pts[i], Objectives) {
+				t.Fatalf("front member %d dominated by %d", i, j)
+			}
+		}
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].Accuracy > res.Front[i-1].Accuracy {
+			t.Fatal("front not sorted by accuracy")
+		}
+	}
+	// No duplicate canonical configs on the front.
+	seen := map[string]bool{}
+	for _, f := range res.Front {
+		if seen[f.Config.Key()] {
+			t.Fatal("duplicate canonical config on front")
+		}
+		seen[f.Config.Key()] = true
+	}
+}
+
+func TestNSGA2Deterministic(t *testing.T) {
+	run := func() *NSGA2Result {
+		res, err := NSGA2(NSGA2Options{
+			Evaluator:  surrogateEval(),
+			Population: 12, Generations: 4, Seed: 77, Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Evaluated != b.Evaluated || len(a.Front) != len(b.Front) {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Evaluated, len(a.Front), b.Evaluated, len(b.Front))
+	}
+	for i := range a.Front {
+		if a.Front[i].Config != b.Front[i].Config {
+			t.Fatal("front configs differ between runs")
+		}
+	}
+}
+
+func TestNSGA2RequiresEvaluator(t *testing.T) {
+	if _, err := NSGA2(NSGA2Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNSGA2RespectsCombo(t *testing.T) {
+	combo := nas.InputCombo{Channels: 5, Batch: 32}
+	res, err := NSGA2(NSGA2Options{
+		Combo: combo, Evaluator: surrogateEval(),
+		Population: 8, Generations: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, t2 := range res.AllTrials {
+		if t2.Config.Channels != 5 || t2.Config.Batch != 32 {
+			t.Fatalf("trial escaped the input combo: %+v", t2.Config)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"drainnas/internal/pareto"
+)
+
+// resultFile is the serialized form of a Result.
+type resultFile struct {
+	RawTrials int     `json:"raw_trials"`
+	Trials    []Trial `json:"trials"`
+}
+
+// Save writes the result as JSON; the front is recomputed on load rather
+// than stored (it is derived state).
+func (r *Result) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(resultFile{RawTrials: r.RawTrials, Trials: r.Trials}); err != nil {
+		return fmt.Errorf("core: saving result: %w", err)
+	}
+	return nil
+}
+
+// LoadResult reads a result written by Save and recomputes its front.
+func LoadResult(rd io.Reader) (*Result, error) {
+	var rf resultFile
+	if err := json.NewDecoder(rd).Decode(&rf); err != nil {
+		return nil, fmt.Errorf("core: loading result: %w", err)
+	}
+	res := &Result{RawTrials: rf.RawTrials, Trials: rf.Trials}
+	res.FrontIdx = pareto.NonDominated(res.Points(), Objectives)
+	sortFront(res)
+	return res, nil
+}
+
+// PerDeviceFronts recomputes the Pareto front using each single device's
+// latency instead of the four-predictor mean — the deployment question
+// "which models are optimal *on my device*?" The returned map indexes
+// Trials. Front membership can differ per device (the lat_std column of
+// Table 4 is exactly the spread that causes this), and the analysis shows
+// how robust the paper's mean-latency front is.
+func (r *Result) PerDeviceFronts() map[string][]int {
+	if len(r.Trials) == 0 {
+		return nil
+	}
+	out := make(map[string][]int)
+	for device := range r.Trials[0].PerDevice {
+		pts := make([]pareto.Point, len(r.Trials))
+		for i, t := range r.Trials {
+			pts[i] = pareto.Point{ID: i, Values: []float64{t.Accuracy, t.PerDevice[device], t.MemoryMB}}
+		}
+		out[device] = pareto.NonDominated(pts, Objectives)
+	}
+	return out
+}
+
+// FrontStability reports, for each mean-latency front member, on how many
+// of the per-device fronts it also appears — 4 means the solution is
+// optimal regardless of the target device.
+func (r *Result) FrontStability() map[int]int {
+	perDevice := r.PerDeviceFronts()
+	counts := make(map[int]int, len(r.FrontIdx))
+	for _, fi := range r.FrontIdx {
+		counts[fi] = 0
+		for _, front := range perDevice {
+			for _, idx := range front {
+				if idx == fi {
+					counts[fi]++
+					break
+				}
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drainnas/internal/nas"
+)
+
+func smallRun(t *testing.T) *Result {
+	t.Helper()
+	sp := nas.PaperSpace()
+	sp.Paddings = []int{1}
+	res, err := Run(Options{
+		Space:     sp,
+		Combos:    []nas.InputCombo{{Channels: 7, Batch: 16}},
+		Evaluator: surrogateEval(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultSaveLoadRoundTrip(t *testing.T) {
+	src := smallRun(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RawTrials != src.RawTrials || len(got.Trials) != len(src.Trials) {
+		t.Fatalf("sizes: %d/%d vs %d/%d", got.RawTrials, len(got.Trials), src.RawTrials, len(src.Trials))
+	}
+	// The recomputed front must match.
+	if len(got.FrontIdx) != len(src.FrontIdx) {
+		t.Fatalf("front sizes %d vs %d", len(got.FrontIdx), len(src.FrontIdx))
+	}
+	for i := range got.FrontIdx {
+		if got.FrontIdx[i] != src.FrontIdx[i] {
+			t.Fatal("front differs after reload")
+		}
+	}
+	for i := range got.Trials {
+		if got.Trials[i].Accuracy != src.Trials[i].Accuracy ||
+			got.Trials[i].LatencyMS != src.Trials[i].LatencyMS ||
+			got.Trials[i].Config != src.Trials[i].Config {
+			t.Fatalf("trial %d differs", i)
+		}
+	}
+}
+
+func TestLoadResultRejectsGarbage(t *testing.T) {
+	if _, err := LoadResult(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPerDeviceFrontsAndStability(t *testing.T) {
+	res := smallRun(t)
+	fronts := res.PerDeviceFronts()
+	if len(fronts) != 4 {
+		t.Fatalf("%d device fronts", len(fronts))
+	}
+	for device, front := range fronts {
+		if len(front) == 0 {
+			t.Fatalf("%s front empty", device)
+		}
+	}
+	stability := res.FrontStability()
+	if len(stability) != len(res.FrontIdx) {
+		t.Fatalf("stability entries %d", len(stability))
+	}
+	for fi, count := range stability {
+		if count < 0 || count > 4 {
+			t.Fatalf("front member %d stability %d", fi, count)
+		}
+	}
+	// At least one mean-front member should be device-universal: the
+	// minimum-memory corner solution is optimal under any latency metric
+	// (there is always a smallest-memory point on every front).
+	universal := 0
+	for _, count := range stability {
+		if count == 4 {
+			universal++
+		}
+	}
+	if universal == 0 {
+		t.Fatal("no device-universal front member")
+	}
+}
+
+func TestPerDeviceFrontsEmptyResult(t *testing.T) {
+	r := &Result{}
+	if got := r.PerDeviceFronts(); got != nil {
+		t.Fatal("empty result must yield nil fronts")
+	}
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"fmt"
+
+	"drainnas/internal/tensor"
+)
+
+// Fold is one cross-validation split: sample indices for training and
+// validation.
+type Fold struct {
+	Train []int
+	Val   []int
+}
+
+// StratifiedKFold partitions the dataset into k folds preserving the class
+// distribution in every fold, shuffled by rng (deterministic for a given
+// seed). Fold i's validation set is the i-th stratified slice; its training
+// set is everything else.
+func StratifiedKFold(labels []int, k int, rng *tensor.RNG) []Fold {
+	if k < 2 {
+		panic(fmt.Sprintf("dataset: k-fold needs k >= 2, got %d", k))
+	}
+	if len(labels) < k {
+		panic(fmt.Sprintf("dataset: %d samples cannot fill %d folds", len(labels), k))
+	}
+	// Group indices by class, shuffle within class, deal them round-robin
+	// into folds.
+	byClass := make(map[int][]int)
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	foldVal := make([][]int, k)
+	// Iterate classes in ascending order for determinism.
+	classes := sortedKeys(byClass)
+	for _, cls := range classes {
+		idxs := byClass[cls]
+		if rng != nil {
+			perm := rng.Perm(len(idxs))
+			shuffled := make([]int, len(idxs))
+			for i, p := range perm {
+				shuffled[i] = idxs[p]
+			}
+			idxs = shuffled
+		}
+		for i, idx := range idxs {
+			f := i % k
+			foldVal[f] = append(foldVal[f], idx)
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		val := foldVal[f]
+		inVal := make(map[int]bool, len(val))
+		for _, i := range val {
+			inVal[i] = true
+		}
+		var train []int
+		for i := range labels {
+			if !inVal[i] {
+				train = append(train, i)
+			}
+		}
+		folds[f] = Fold{Train: train, Val: val}
+	}
+	return folds
+}
+
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort; class counts are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// TrainTestSplit returns a single stratified split with the given test
+// fraction.
+func TrainTestSplit(labels []int, testFrac float64, rng *tensor.RNG) (train, test []int) {
+	if testFrac <= 0 || testFrac >= 1 {
+		panic(fmt.Sprintf("dataset: test fraction %v out of (0,1)", testFrac))
+	}
+	byClass := make(map[int][]int)
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	for _, cls := range sortedKeys(byClass) {
+		idxs := byClass[cls]
+		if rng != nil {
+			perm := rng.Perm(len(idxs))
+			shuffled := make([]int, len(idxs))
+			for i, p := range perm {
+				shuffled[i] = idxs[p]
+			}
+			idxs = shuffled
+		}
+		nTest := int(float64(len(idxs)) * testFrac)
+		if nTest < 1 && len(idxs) > 1 {
+			nTest = 1
+		}
+		test = append(test, idxs[:nTest]...)
+		train = append(train, idxs[nTest:]...)
+	}
+	return train, test
+}

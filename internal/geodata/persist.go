@@ -1,0 +1,112 @@
+package geodata
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Corpus persistence: synthesizing the full 12,068-chip corpus takes
+// minutes, so the generated chips can be cached to disk in a compact
+// binary container and reloaded instantly for subsequent training runs.
+
+const corpusMagic = "DNCH\x01"
+
+// SaveCorpus writes the corpus to w.
+func (c *Corpus) SaveCorpus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(corpusMagic); err != nil {
+		return fmt.Errorf("geodata: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(c.ChipSize))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(c.Chips)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("geodata: %w", err)
+	}
+	var u32 [4]byte
+	for _, chip := range c.Chips {
+		if chip.Size != c.ChipSize {
+			return fmt.Errorf("geodata: chip size %d differs from corpus %d", chip.Size, c.ChipSize)
+		}
+		if len(chip.Region) > 255 {
+			return fmt.Errorf("geodata: region name too long")
+		}
+		if err := bw.WriteByte(byte(len(chip.Region))); err != nil {
+			return fmt.Errorf("geodata: %w", err)
+		}
+		if _, err := bw.WriteString(chip.Region); err != nil {
+			return fmt.Errorf("geodata: %w", err)
+		}
+		if err := bw.WriteByte(byte(chip.Label)); err != nil {
+			return fmt.Errorf("geodata: %w", err)
+		}
+		for _, v := range chip.Bands {
+			binary.LittleEndian.PutUint32(u32[:], math.Float32bits(v))
+			if _, err := bw.Write(u32[:]); err != nil {
+				return fmt.Errorf("geodata: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCorpus reads a corpus written by SaveCorpus.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(corpusMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("geodata: reading magic: %w", err)
+	}
+	if string(head) != corpusMagic {
+		return nil, fmt.Errorf("geodata: bad corpus magic %q", head)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("geodata: reading header: %w", err)
+	}
+	chipSize := int(binary.LittleEndian.Uint32(hdr[0:]))
+	count := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if chipSize <= 0 || chipSize > 4096 {
+		return nil, fmt.Errorf("geodata: implausible chip size %d", chipSize)
+	}
+	if count < 0 || count > 1<<22 {
+		return nil, fmt.Errorf("geodata: implausible chip count %d", count)
+	}
+	corpus := &Corpus{ChipSize: chipSize, Chips: make([]Chip, 0, count)}
+	bandLen := NumBands * chipSize * chipSize
+	raw := make([]byte, bandLen*4)
+	for i := 0; i < count; i++ {
+		nameLen, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("geodata: chip %d region length: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("geodata: chip %d region: %w", i, err)
+		}
+		label, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("geodata: chip %d label: %w", i, err)
+		}
+		if label > 1 {
+			return nil, fmt.Errorf("geodata: chip %d label %d out of range", i, label)
+		}
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("geodata: chip %d bands: %w", i, err)
+		}
+		bands := make([]float32, bandLen)
+		for j := range bands {
+			bands[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+		}
+		corpus.Chips = append(corpus.Chips, Chip{
+			Region: string(name), Label: int(label), Size: chipSize, Bands: bands,
+		})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("geodata: trailing data after corpus")
+	}
+	return corpus, nil
+}

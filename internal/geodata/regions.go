@@ -1,0 +1,84 @@
+package geodata
+
+// Region describes one of the paper's four study regions (Table 1) together
+// with the synthesis parameters that give each region a distinct terrain and
+// land-cover character.
+type Region struct {
+	Name          string
+	DEMSource     string
+	DEMResolution float64 // meters (standardized to 1 m in the paper)
+	TrueSamples   int     // Table 1 "True sample"
+	FalseSamples  int     // Table 1 "False sample"
+	OrthoSource   string
+
+	// Synthesis character: relief (m of elevation range), terrain roughness
+	// (fractal persistence), background vegetation density [0,1], and soil
+	// brightness [0,1].
+	Relief     float64
+	Roughness  float64
+	Vegetation float64
+	SoilTone   float64
+}
+
+// Total returns the region's total sample count.
+func (r Region) Total() int { return r.TrueSamples + r.FalseSamples }
+
+// StudyRegions reproduces Table 1: the four watersheds with their DEM
+// sources, resolutions and balanced sample counts.
+var StudyRegions = []Region{
+	{
+		Name:          "Nebraska",
+		DEMSource:     "Nebraska Department of Natural Resource",
+		DEMResolution: 1.0,
+		TrueSamples:   2022,
+		FalseSamples:  2022,
+		OrthoSource:   "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+		Relief:        6, Roughness: 0.45, Vegetation: 0.55, SoilTone: 0.55,
+	},
+	{
+		Name:          "Illinois",
+		DEMSource:     "Illinois Geospatial Data Clearinghouse",
+		DEMResolution: 0.3,
+		TrueSamples:   1011,
+		FalseSamples:  1011,
+		OrthoSource:   "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+		Relief:        8, Roughness: 0.5, Vegetation: 0.65, SoilTone: 0.45,
+	},
+	{
+		Name:          "North Dakota",
+		DEMSource:     "North Dakota GIS Hub Data Portal",
+		DEMResolution: 0.61,
+		TrueSamples:   613,
+		FalseSamples:  613,
+		OrthoSource:   "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+		Relief:        4, Roughness: 0.4, Vegetation: 0.45, SoilTone: 0.6,
+	},
+	{
+		Name:          "California",
+		DEMSource:     "USGS",
+		DEMResolution: 1.0,
+		TrueSamples:   2388,
+		FalseSamples:  2388,
+		OrthoSource:   "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+		Relief:        12, Roughness: 0.55, Vegetation: 0.35, SoilTone: 0.7,
+	},
+}
+
+// TotalSamples returns the corpus-wide sample count of Table 1 (12,068).
+func TotalSamples() int {
+	n := 0
+	for _, r := range StudyRegions {
+		n += r.Total()
+	}
+	return n
+}
+
+// RegionByName looks a study region up by name; ok is false when absent.
+func RegionByName(name string) (Region, bool) {
+	for _, r := range StudyRegions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}

@@ -1,0 +1,207 @@
+package geodata
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Terrain is a square digital elevation model with helper fields produced
+// during synthesis: per-cell flow accumulation and masks marking carved
+// channels, road embankments and crossing structures.
+type Terrain struct {
+	Size int
+	// Elev holds elevations in meters, row-major.
+	Elev []float64
+	// FlowAcc holds D8 flow accumulation (number of upstream cells), filled
+	// by FlowAccumulation.
+	FlowAcc []float64
+	// ChannelMask / RoadMask / CrossingMask are in [0, 1] membership weights.
+	ChannelMask  []float64
+	RoadMask     []float64
+	CrossingMask []float64
+}
+
+// NewTerrain allocates a terrain of the given size.
+func NewTerrain(size int) *Terrain {
+	if size <= 0 {
+		panic(fmt.Sprintf("geodata: invalid terrain size %d", size))
+	}
+	n := size * size
+	return &Terrain{
+		Size:         size,
+		Elev:         make([]float64, n),
+		FlowAcc:      make([]float64, n),
+		ChannelMask:  make([]float64, n),
+		RoadMask:     make([]float64, n),
+		CrossingMask: make([]float64, n),
+	}
+}
+
+// d8Offsets enumerates the eight neighbors with their distances.
+var d8Offsets = [8]struct {
+	dx, dy int
+	dist   float64
+}{
+	{1, 0, 1}, {-1, 0, 1}, {0, 1, 1}, {0, -1, 1},
+	{1, 1, math.Sqrt2}, {1, -1, math.Sqrt2}, {-1, 1, math.Sqrt2}, {-1, -1, math.Sqrt2},
+}
+
+// FlowAccumulation computes D8 flow accumulation: each cell drains to its
+// steepest-descent neighbor, and accumulation counts the number of cells
+// (including itself) draining through each cell. Cells are processed in
+// descending elevation order, which makes the single pass exact on a DAG.
+func (t *Terrain) FlowAccumulation() {
+	size := t.Size
+	n := size * size
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.Elev[order[a]] > t.Elev[order[b]] })
+
+	for i := range t.FlowAcc {
+		t.FlowAcc[i] = 1
+	}
+	for _, idx := range order {
+		x, y := idx%size, idx/size
+		bestSlope := 0.0
+		best := -1
+		for _, o := range d8Offsets {
+			nx, ny := x+o.dx, y+o.dy
+			if nx < 0 || nx >= size || ny < 0 || ny >= size {
+				continue
+			}
+			nIdx := ny*size + nx
+			slope := (t.Elev[idx] - t.Elev[nIdx]) / o.dist
+			if slope > bestSlope {
+				bestSlope = slope
+				best = nIdx
+			}
+		}
+		if best >= 0 {
+			t.FlowAcc[best] += t.FlowAcc[idx]
+		}
+	}
+}
+
+// ChannelCells returns the indices whose flow accumulation meets the
+// threshold — the extracted drainage network of the DEM.
+func (t *Terrain) ChannelCells(threshold float64) []int {
+	var cells []int
+	for i, a := range t.FlowAcc {
+		if a >= threshold {
+			cells = append(cells, i)
+		}
+	}
+	return cells
+}
+
+// polyline is a sequence of continuous points tracing a channel or road.
+type polyline []struct{ X, Y float64 }
+
+// distanceToSegment returns the Euclidean distance from p to segment ab.
+func distanceToSegment(px, py, ax, ay, bx, by float64) float64 {
+	dx, dy := bx-ax, by-ay
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return math.Hypot(px-ax, py-ay)
+	}
+	tp := ((px-ax)*dx + (py-ay)*dy) / l2
+	tp = clamp01(tp)
+	cx, cy := ax+tp*dx, ay+tp*dy
+	return math.Hypot(px-cx, py-cy)
+}
+
+// distanceField computes, for every cell, the distance to the nearest
+// segment of the polyline. For the small chips used here an exact sweep is
+// cheap and simpler than a jump-flood approximation.
+func (t *Terrain) distanceField(line polyline) []float64 {
+	size := t.Size
+	out := make([]float64, size*size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			best := math.Inf(1)
+			px, py := float64(x), float64(y)
+			for s := 0; s+1 < len(line); s++ {
+				d := distanceToSegment(px, py, line[s].X, line[s].Y, line[s+1].X, line[s+1].Y)
+				if d < best {
+					best = d
+				}
+			}
+			out[y*size+x] = best
+		}
+	}
+	return out
+}
+
+// CarveChannel lowers the DEM along the polyline with a Gaussian
+// cross-section of the given width (σ, cells) and depth (meters), and adds
+// the membership weight to ChannelMask.
+func (t *Terrain) CarveChannel(line polyline, width, depth float64) {
+	dist := t.distanceField(line)
+	for i, d := range dist {
+		w := gaussian(d, width)
+		if w < 1e-4 {
+			continue
+		}
+		t.Elev[i] -= depth * w
+		t.ChannelMask[i] = math.Max(t.ChannelMask[i], w)
+	}
+}
+
+// RaiseRoad lifts the DEM along the polyline to form an embankment with a
+// flat crown: full height within crownWidth, Gaussian shoulders beyond.
+func (t *Terrain) RaiseRoad(line polyline, crownWidth, shoulderWidth, height float64) {
+	dist := t.distanceField(line)
+	for i, d := range dist {
+		var w float64
+		if d <= crownWidth {
+			w = 1
+		} else {
+			w = gaussian(d-crownWidth, shoulderWidth)
+		}
+		if w < 1e-4 {
+			continue
+		}
+		t.Elev[i] += height * w
+		t.RoadMask[i] = math.Max(t.RoadMask[i], w)
+	}
+}
+
+// StampCrossing records a culvert-style drainage crossing at (cx, cy): the
+// embankment locally sags and the channel depression persists through it,
+// producing the DEM signature the classifier must learn. radius is in cells.
+func (t *Terrain) StampCrossing(cx, cy, radius, sag float64) {
+	size := t.Size
+	x0 := int(math.Max(0, cx-3*radius))
+	x1 := int(math.Min(float64(size-1), cx+3*radius))
+	y0 := int(math.Max(0, cy-3*radius))
+	y1 := int(math.Min(float64(size-1), cy+3*radius))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			w := gaussian(d, radius)
+			if w < 1e-4 {
+				continue
+			}
+			i := y*size + x
+			t.Elev[i] -= sag * w
+			t.CrossingMask[i] = math.Max(t.CrossingMask[i], w)
+		}
+	}
+}
+
+// ElevRange returns the minimum and maximum elevation.
+func (t *Terrain) ElevRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, e := range t.Elev {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	return lo, hi
+}

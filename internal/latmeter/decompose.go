@@ -1,0 +1,84 @@
+package latmeter
+
+import (
+	"fmt"
+
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+// Decompose lowers a ResNet configuration into the fused kernel graph an
+// edge runtime would execute for batch-1 inference on an
+// inputSize×inputSize image. It mirrors resnet.New's structure exactly
+// (stem, four stages of two basic blocks, head) without building weights.
+func Decompose(cfg resnet.Config, inputSize int) (Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return Graph{}, err
+	}
+	if _, err := cfg.CheckSpatial(inputSize); err != nil {
+		return Graph{}, err
+	}
+	w := cfg.StageWidths()
+	var ks []Kernel
+
+	// Stem conv (+BN+ReLU).
+	s := inputSize
+	out := tensor.ConvOut(s, cfg.KernelSize, cfg.Stride, cfg.Padding)
+	ks = append(ks, Kernel{
+		Type: KConvBNReLU, Name: "conv1",
+		InC: cfg.Channels, OutC: w[0], HW: s, OutHW: out, K: cfg.KernelSize, S: cfg.Stride,
+	})
+	s = out
+
+	if cfg.PoolChoice == 1 {
+		poolPad := 0
+		if cfg.KernelSizePool >= 3 {
+			poolPad = 1
+		}
+		out = tensor.ConvOut(s, cfg.KernelSizePool, cfg.StridePool, poolPad)
+		ks = append(ks, Kernel{
+			Type: KMaxPool, Name: "maxpool",
+			InC: w[0], OutC: w[0], HW: s, OutHW: out, K: cfg.KernelSizePool, S: cfg.StridePool,
+		})
+		s = out
+	}
+
+	inC := w[0]
+	for stage := 0; stage < 4; stage++ {
+		outC := w[stage]
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for block := 0; block < 2; block++ {
+			bs := stride
+			bInC := inC
+			if block == 1 {
+				bs = 1
+				bInC = outC
+			}
+			o1 := tensor.ConvOut(s, 3, bs, 1)
+			name := fmt.Sprintf("layer%d.%d", stage+1, block)
+			ks = append(ks,
+				Kernel{Type: KConvBNReLU, Name: name + ".conv1",
+					InC: bInC, OutC: outC, HW: s, OutHW: o1, K: 3, S: bs},
+				Kernel{Type: KConvBN, Name: name + ".conv2",
+					InC: outC, OutC: outC, HW: o1, OutHW: o1, K: 3, S: 1},
+			)
+			if bs != 1 || bInC != outC {
+				ks = append(ks, Kernel{Type: KConvBN, Name: name + ".down",
+					InC: bInC, OutC: outC, HW: s, OutHW: o1, K: 1, S: bs})
+			}
+			ks = append(ks, Kernel{Type: KAddReLU, Name: name + ".add",
+				InC: outC, OutC: outC, HW: o1, OutHW: o1})
+			s = o1
+		}
+		inC = outC
+	}
+
+	ks = append(ks,
+		Kernel{Type: KGlobalAvgPool, Name: "avgpool", InC: w[3], OutC: w[3], HW: s, OutHW: 1},
+		Kernel{Type: KFC, Name: "fc", InC: w[3], OutC: cfg.NumClasses, HW: 1, OutHW: 1},
+	)
+	return Graph{Kernels: ks, InputSize: inputSize}, nil
+}

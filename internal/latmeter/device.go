@@ -1,0 +1,106 @@
+package latmeter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device is one latency-prediction target: the paper's four nn-Meter
+// predictors (Table 2).
+type Device struct {
+	// Name matches the nn-Meter predictor name.
+	Name string
+	// HW and Framework describe the physical target (Table 2 columns).
+	HW        string
+	Framework string
+
+	// Cost-model coefficients. The model is a per-kernel roofline:
+	//
+	//	t(kernel) = overhead + max(FLOPs / compute,
+	//	                           weightBytes / dramBW + actBytes / cacheBW)
+	//
+	// Weights are streamed from DRAM on every batch-1 inference (no reuse),
+	// while activations mostly live in cache — this split is what makes
+	// wide late-stage layers weight-bound and reproduces the paper's
+	// strong latency–model-size correlation.
+	CompGFLOPS float64 // effective compute throughput, GFLOP/s
+	DRAMGBs    float64 // weight-streaming bandwidth, GB/s
+	CacheGBs   float64 // activation bandwidth, GB/s
+	OverheadUS float64 // per-kernel dispatch overhead, microseconds
+
+	// PoolEff derates pooling throughput (edge runtimes execute pooling
+	// kernels far below peak).
+	PoolEff float64
+}
+
+// Devices returns the paper's four predictors in Table 2 order.
+func Devices() []Device {
+	return []Device{
+		{
+			Name: "cortexA76cpu", HW: "Pixel4 / CortexA76 CPU", Framework: "TFLite v2.1",
+			CompGFLOPS: 130, DRAMGBs: 0.72, CacheGBs: 9, OverheadUS: 45, PoolEff: 0.05,
+		},
+		{
+			Name: "adreno640gpu", HW: "Mi9 / Adreno 640 GPU", Framework: "TFLite v2.1",
+			CompGFLOPS: 330, DRAMGBs: 3.2, CacheGBs: 24, OverheadUS: 70, PoolEff: 0.08,
+		},
+		{
+			Name: "adreno630gpu", HW: "Pixel3XL / Adreno 630 GPU", Framework: "TFLite v2.1",
+			CompGFLOPS: 290, DRAMGBs: 2.8, CacheGBs: 20, OverheadUS: 78, PoolEff: 0.08,
+		},
+		{
+			Name: "myriadvpu", HW: "Intel Movidius NCS2 / Myriad VPU", Framework: "OpenVINO 2019R2",
+			CompGFLOPS: 215, DRAMGBs: 2.1, CacheGBs: 13, OverheadUS: 110, PoolEff: 0.06,
+		},
+	}
+}
+
+// DeviceByName looks a predictor up by its nn-Meter name.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range Devices() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("latmeter: unknown device %q", name)
+}
+
+// weightBytes returns the kernel's parameter traffic (streamed from DRAM).
+func weightBytes(k Kernel) float64 {
+	const f = 4.0
+	switch k.Type {
+	case KConvBNReLU, KConvBN:
+		return float64(k.OutC*k.InC*k.K*k.K)*f + 2*float64(k.OutC)*f // conv + fused BN scale/shift
+	case KFC:
+		return float64(k.InC*k.OutC)*f + float64(k.OutC)*f
+	default:
+		return 0
+	}
+}
+
+// actBytes returns the kernel's activation traffic (cache-resident stream).
+func actBytes(k Kernel) float64 {
+	return k.Bytes() - weightBytes(k)
+}
+
+// KernelLatencyMS predicts one kernel's latency on the device in
+// milliseconds.
+func (d Device) KernelLatencyMS(k Kernel) float64 {
+	comp := d.CompGFLOPS
+	if k.Type == KMaxPool || k.Type == KGlobalAvgPool {
+		comp *= d.PoolEff
+	}
+	tComp := k.FLOPs() / (comp * 1e9) * 1e3
+	tMem := (weightBytes(k)/(d.DRAMGBs*1e9) + actBytes(k)/(d.CacheGBs*1e9)) * 1e3
+	t := math.Max(tComp, tMem) + d.OverheadUS/1e3
+	return t
+}
+
+// LatencyMS predicts the whole graph's latency in milliseconds.
+func (d Device) LatencyMS(g Graph) float64 {
+	total := 0.0
+	for _, k := range g.Kernels {
+		total += d.KernelLatencyMS(k)
+	}
+	return total
+}

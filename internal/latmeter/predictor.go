@@ -1,0 +1,81 @@
+package latmeter
+
+import (
+	"fmt"
+	"math"
+
+	"drainnas/internal/resnet"
+)
+
+// DefaultInputSize is the image side used for latency prediction. The
+// paper's chips are ~100 m square at 1 m resolution.
+const DefaultInputSize = 100
+
+// Prediction holds the four per-device latencies for one model plus the
+// aggregate the paper reports ('latency' = mean, 'lat_std' = standard
+// deviation across the four predictors).
+type Prediction struct {
+	PerDevice map[string]float64
+	MeanMS    float64
+	StdMS     float64
+}
+
+// Predict decomposes the configuration and predicts latency on every
+// device.
+func Predict(cfg resnet.Config, inputSize int) (Prediction, error) {
+	if inputSize <= 0 {
+		inputSize = DefaultInputSize
+	}
+	g, err := Decompose(cfg, inputSize)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return PredictGraph(g), nil
+}
+
+// PredictGraph predicts latency of an already-decomposed graph on every
+// device.
+func PredictGraph(g Graph) Prediction {
+	devices := Devices()
+	p := Prediction{PerDevice: make(map[string]float64, len(devices))}
+	sum := 0.0
+	for _, d := range devices {
+		ms := d.LatencyMS(g)
+		p.PerDevice[d.Name] = ms
+		sum += ms
+	}
+	n := float64(len(devices))
+	p.MeanMS = sum / n
+	ss := 0.0
+	for _, d := range devices {
+		diff := p.PerDevice[d.Name] - p.MeanMS
+		ss += diff * diff
+	}
+	// Population standard deviation across the four predictors, matching
+	// the paper's lat_std column.
+	p.StdMS = math.Sqrt(ss / n)
+	return p
+}
+
+// Breakdown returns per-kernel latencies for one device, for the
+// latency_compare example and debugging.
+func Breakdown(cfg resnet.Config, inputSize int, deviceName string) ([]string, []float64, error) {
+	if inputSize <= 0 {
+		inputSize = DefaultInputSize
+	}
+	d, err := DeviceByName(deviceName)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Decompose(cfg, inputSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(g.Kernels))
+	lats := make([]float64, len(g.Kernels))
+	for i, k := range g.Kernels {
+		names[i] = fmt.Sprintf("%s[%s %dx%d c%d->%d]", k.Name, k.Type, k.HW, k.HW, k.InC, k.OutC)
+		lats[i] = d.KernelLatencyMS(k)
+	}
+	return names, lats, nil
+}

@@ -1,0 +1,200 @@
+package nas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"drainnas/internal/parallel"
+	"drainnas/internal/profiler"
+	"drainnas/internal/resnet"
+)
+
+// TrialStatus is the outcome state of one trial.
+type TrialStatus string
+
+// Trial outcomes.
+const (
+	TrialSucceeded TrialStatus = "succeeded"
+	TrialFailed    TrialStatus = "failed"
+)
+
+// TrialResult records one NAS trial, mirroring an NNI trial record.
+type TrialResult struct {
+	ID       int           `json:"id"`
+	Config   resnet.Config `json:"config"`
+	Status   TrialStatus   `json:"status"`
+	Accuracy float64       `json:"accuracy"` // percent, valid when succeeded
+	Err      string        `json:"error,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// ExperimentOptions configures a NAS experiment run.
+type ExperimentOptions struct {
+	// Workers is the trial-level parallelism (NNI's trial concurrency);
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// SimulateAttrition applies the paper-calibrated trial failure model so
+	// a full paper grid yields exactly 1,717 valid outcomes.
+	SimulateAttrition bool
+	// Progress, when non-nil, receives (done, total) after every trial.
+	Progress func(done, total int)
+	// Profiler, when non-nil, records a per-trial "trial" span (plus a
+	// "trial-failed" span for attrition/evaluator failures) — the §5
+	// resource-profiling hook.
+	Profiler *profiler.Profiler
+}
+
+// Experiment runs every configuration through the evaluator with dynamic
+// load balancing (trials differ wildly in cost) and returns results in
+// input order.
+func Experiment(configs []resnet.Config, eval Evaluator, opts ExperimentOptions) []TrialResult {
+	results := make([]TrialResult, len(configs))
+	var done atomic.Int64
+	parallel.Map(len(configs), opts.Workers, func(i int) {
+		cfg := configs[i]
+		start := time.Now()
+		var stop func()
+		if opts.Profiler != nil {
+			stop = opts.Profiler.Start("trial")
+		}
+		res := TrialResult{ID: i, Config: cfg}
+		if opts.SimulateAttrition && Attrition(i, cfg) {
+			res.Status = TrialFailed
+			res.Err = "trial attrition (simulated NNI worker failure)"
+		} else if acc, err := eval.Evaluate(cfg); err != nil {
+			res.Status = TrialFailed
+			res.Err = err.Error()
+		} else {
+			res.Status = TrialSucceeded
+			res.Accuracy = acc
+		}
+		res.Duration = time.Since(start)
+		if stop != nil {
+			stop()
+			if res.Status == TrialFailed {
+				opts.Profiler.Record("trial-failed", res.Duration)
+			}
+		}
+		results[i] = res
+		if opts.Progress != nil {
+			opts.Progress(int(done.Add(1)), len(configs))
+		}
+	})
+	return results
+}
+
+// Succeeded filters an experiment's results to its valid outcomes.
+func Succeeded(results []TrialResult) []TrialResult {
+	var out []TrialResult
+	for _, r := range results {
+		if r.Status == TrialSucceeded {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BestByAccuracy returns the highest-accuracy successful trial; ok is false
+// when none succeeded.
+func BestByAccuracy(results []TrialResult) (TrialResult, bool) {
+	best := TrialResult{Accuracy: -1}
+	ok := false
+	for _, r := range results {
+		if r.Status == TrialSucceeded && r.Accuracy > best.Accuracy {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// WriteJournal streams results as JSON lines (one trial per line, NNI
+// journal style).
+func WriteJournal(w io.Writer, results []TrialResult) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("nas: writing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJournal parses a JSON-lines journal back into trial results.
+func ReadJournal(r io.Reader) ([]TrialResult, error) {
+	dec := json.NewDecoder(r)
+	var out []TrialResult
+	for {
+		var t TrialResult
+		if err := dec.Decode(&t); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("nas: reading journal: %w", err)
+		}
+		out = append(out, t)
+	}
+}
+
+// Resume support: a long NNI-style sweep interrupted mid-run restarts from
+// its journal, re-running only the trials that have no recorded outcome.
+
+// FilterCompleted splits configs into those already covered by journal
+// entries (same raw configuration, succeeded) and those still to run.
+// Failed journal entries are retried.
+func FilterCompleted(configs []resnet.Config, journal []TrialResult) (remaining []resnet.Config, completed []TrialResult) {
+	done := make(map[resnet.Config]TrialResult, len(journal))
+	for _, r := range journal {
+		if r.Status == TrialSucceeded {
+			done[r.Config] = r
+		}
+	}
+	for _, cfg := range configs {
+		if r, ok := done[cfg]; ok {
+			completed = append(completed, r)
+		} else {
+			remaining = append(remaining, cfg)
+		}
+	}
+	return remaining, completed
+}
+
+// ResumeExperiment continues an interrupted sweep: journaled successes are
+// reused, the remainder re-runs through the evaluator, and the merged
+// results come back in the order of configs.
+func ResumeExperiment(configs []resnet.Config, journal []TrialResult, eval Evaluator, opts ExperimentOptions) []TrialResult {
+	remaining, completed := FilterCompleted(configs, journal)
+	fresh := Experiment(remaining, eval, opts)
+	byCfg := make(map[resnet.Config]TrialResult, len(completed)+len(fresh))
+	for _, r := range completed {
+		byCfg[r.Config] = r
+	}
+	for _, r := range fresh {
+		byCfg[r.Config] = r
+	}
+	out := make([]TrialResult, len(configs))
+	for i, cfg := range configs {
+		r := byCfg[cfg]
+		r.ID = i
+		out[i] = r
+	}
+	return out
+}
+
+// EstimateFullScale extrapolates full-paper wall time from a measured
+// sample, the §5 planning exercise: given the measured mean seconds per
+// trial at this machine's scale and the cost ratio to the paper's scale
+// (corpus size × image area × epochs), estimate hours for a full input
+// combination (288 trials) at a given trial concurrency.
+func EstimateFullScale(measuredSecPerTrial, scaleRatio float64, trials, concurrency int) (hours float64) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if trials < 1 {
+		trials = 288
+	}
+	total := measuredSecPerTrial * scaleRatio * float64(trials) / float64(concurrency)
+	return total / 3600
+}

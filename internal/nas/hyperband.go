@@ -1,0 +1,104 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+// HyperbandOptions configures a Hyperband run.
+type HyperbandOptions struct {
+	// Space defaults to PaperSpace().
+	Space Space
+	// Combo fixes the input combination.
+	Combo InputCombo
+	// Eta is the halving factor (default 3, as in the paper by Li et al.).
+	Eta int
+	// MinBudget is the smallest fidelity any bracket starts at (default
+	// 1/9 with eta 3).
+	MinBudget float64
+	// Seed drives candidate sampling.
+	Seed uint64
+	// Workers is per-round parallelism.
+	Workers int
+}
+
+// HyperbandResult reports the run.
+type HyperbandResult struct {
+	// Best is the overall best full-budget trial.
+	Best TrialResult
+	// Brackets records each bracket's (initial candidates, initial budget,
+	// best accuracy found).
+	Brackets []struct {
+		Candidates int
+		Budget     float64
+		BestAcc    float64
+	}
+	// TotalBudget sums fidelity-weighted evaluations.
+	TotalBudget float64
+}
+
+// Hyperband (Li et al., 2018) hedges successive halving's
+// budget-vs-breadth trade-off by running several brackets: an aggressive
+// one starting many candidates at tiny budget, through a conservative one
+// evaluating few candidates at full budget. Candidates are sampled
+// uniformly from the space per bracket.
+func Hyperband(eval BudgetedEvaluator, opts HyperbandOptions) (HyperbandResult, error) {
+	if eval == nil {
+		return HyperbandResult{}, fmt.Errorf("nas: Hyperband needs an evaluator")
+	}
+	if opts.Space.RawSize() == 0 {
+		opts.Space = PaperSpace()
+	}
+	if opts.Combo == (InputCombo{}) {
+		opts.Combo = InputCombo{Channels: 7, Batch: 16}
+	}
+	eta := opts.Eta
+	if eta < 2 {
+		eta = 3
+	}
+	minBudget := opts.MinBudget
+	if minBudget <= 0 || minBudget >= 1 {
+		minBudget = 1.0 / float64(eta*eta)
+	}
+	// sMax brackets: budget rungs minBudget * eta^k up to 1.
+	sMax := int(math.Floor(math.Log(1/minBudget) / math.Log(float64(eta))))
+	rng := tensor.NewRNG(opts.Seed ^ 0x4B1D)
+
+	var res HyperbandResult
+	res.Best = TrialResult{Accuracy: -1}
+	for s := sMax; s >= 0; s-- {
+		// Bracket s: n candidates at budget minBudget*eta^(sMax-s).
+		n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(float64(eta), float64(s))))
+		budget := math.Pow(float64(eta), float64(-s))
+		if budget > 1 {
+			budget = 1
+		}
+		configs := make([]resnet.Config, n)
+		for i := range configs {
+			configs[i] = opts.Space.RandomConfig(opts.Combo, rng)
+		}
+		sh, err := SuccessiveHalving(configs, eval, SHOptions{
+			Eta: eta, MinBudget: budget, Workers: opts.Workers,
+		})
+		if err != nil {
+			return HyperbandResult{}, err
+		}
+		res.TotalBudget += sh.TotalBudget
+		bracketBest := -1.0
+		if len(sh.Survivors) > 0 {
+			bracketBest = sh.Survivors[0].Accuracy
+			if sh.Survivors[0].Accuracy > res.Best.Accuracy {
+				res.Best = sh.Survivors[0]
+			}
+		}
+		res.Brackets = append(res.Brackets, struct {
+			Candidates int
+			Budget     float64
+			BestAcc    float64
+		}{n, budget, bracketBest})
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package nas
+
+import (
+	"testing"
+
+	"drainnas/internal/surrogate"
+)
+
+func TestHyperbandFindsGoodConfig(t *testing.T) {
+	eval := SurrogateEvaluator{Model: surrogate.Default()}
+	combo := InputCombo{Channels: 7, Batch: 16}
+	hb, err := Hyperband(eval, HyperbandOptions{Combo: combo, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Best.Accuracy < 90 {
+		t.Fatalf("hyperband best %.2f", hb.Best.Accuracy)
+	}
+	if len(hb.Brackets) < 2 {
+		t.Fatalf("only %d brackets", len(hb.Brackets))
+	}
+	// Brackets run from aggressive (many candidates, low budget) to
+	// conservative (few candidates, full budget).
+	first, last := hb.Brackets[0], hb.Brackets[len(hb.Brackets)-1]
+	if first.Candidates <= last.Candidates {
+		t.Fatalf("bracket candidate counts not decreasing: %d .. %d", first.Candidates, last.Candidates)
+	}
+	if first.Budget >= last.Budget {
+		t.Fatalf("bracket budgets not increasing: %v .. %v", first.Budget, last.Budget)
+	}
+	if last.Budget != 1 {
+		t.Fatalf("final bracket budget %v, want 1", last.Budget)
+	}
+	// Must come within 1.5 points of the grid optimum.
+	grid := Experiment(PaperSpace().Enumerate(combo), eval, ExperimentOptions{})
+	gridBest, _ := BestByAccuracy(grid)
+	if hb.Best.Accuracy < gridBest.Accuracy-1.5 {
+		t.Fatalf("hyperband best %.2f vs grid %.2f", hb.Best.Accuracy, gridBest.Accuracy)
+	}
+}
+
+func TestHyperbandDeterministic(t *testing.T) {
+	eval := SurrogateEvaluator{Model: surrogate.Default()}
+	a, err := Hyperband(eval, HyperbandOptions{Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Hyperband(eval, HyperbandOptions{Seed: 7, Workers: 1})
+	if a.Best.Config != b.Best.Config || a.TotalBudget != b.TotalBudget {
+		t.Fatal("hyperband not deterministic across worker counts")
+	}
+}
+
+func TestHyperbandRequiresEvaluator(t *testing.T) {
+	if _, err := Hyperband(nil, HyperbandOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnas/internal/tensor"
+)
+
+// BatchNorm2d normalizes each channel of an (N, C, H, W) tensor over the
+// N×H×W axes, with learnable per-channel scale (gamma) and shift (beta) and
+// running statistics for evaluation mode.
+type BatchNorm2d struct {
+	name string
+	C    int
+	Eps  float64
+	// Momentum is the running-statistics update rate:
+	// running = (1-Momentum)*running + Momentum*batch.
+	Momentum float64
+
+	Gamma *Param
+	Beta  *Param
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	// backward caches
+	cachedInput *tensor.Tensor
+	cachedXHat  *tensor.Tensor
+	cachedMean  []float64
+	cachedInvSD []float64
+}
+
+// NewBatchNorm2d builds a batch-norm layer with gamma=1, beta=0,
+// running mean 0 / variance 1.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       newParam(name+".gamma", tensor.Ones(c)),
+		Beta:        newParam(name+".beta", tensor.New(c)),
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+	}
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes x. In training mode batch statistics are used and the
+// running statistics updated; in eval mode the running statistics are used.
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape(bn.name, x, -1, bn.C, -1, -1)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	plane := h * w
+	count := n * plane
+	out := tensor.New(n, c, h, w)
+
+	if !train {
+		bn.cachedInput = nil
+		for ch := 0; ch < c; ch++ {
+			mean := bn.RunningMean[ch]
+			invSD := 1.0 / math.Sqrt(bn.RunningVar[ch]+bn.Eps)
+			g := float64(bn.Gamma.Data.Data()[ch])
+			b := float64(bn.Beta.Data.Data()[ch])
+			scale := float32(g * invSD)
+			shift := float32(b - g*mean*invSD)
+			for s := 0; s < n; s++ {
+				src := x.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+				dst := out.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+				for i, v := range src {
+					dst[i] = v*scale + shift
+				}
+			}
+		}
+		return out
+	}
+
+	xhat := tensor.New(n, c, h, w)
+	means := make([]float64, c)
+	invSDs := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		sum, sumSq := 0.0, 0.0
+		for s := 0; s < n; s++ {
+			src := x.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			for _, v := range src {
+				f := float64(v)
+				sum += f
+				sumSq += f * f
+			}
+		}
+		mean := sum / float64(count)
+		variance := sumSq/float64(count) - mean*mean
+		if variance < 0 {
+			variance = 0 // guard against catastrophic cancellation
+		}
+		invSD := 1.0 / math.Sqrt(variance+bn.Eps)
+		means[ch] = mean
+		invSDs[ch] = invSD
+		// Unbiased variance for the running estimate, as PyTorch does.
+		unbiased := variance
+		if count > 1 {
+			unbiased = variance * float64(count) / float64(count-1)
+		}
+		bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mean
+		bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*unbiased
+
+		g := float64(bn.Gamma.Data.Data()[ch])
+		b := float64(bn.Beta.Data.Data()[ch])
+		for s := 0; s < n; s++ {
+			src := x.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			xh := xhat.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			dst := out.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			for i, v := range src {
+				h := (float64(v) - mean) * invSD
+				xh[i] = float32(h)
+				dst[i] = float32(g*h + b)
+			}
+		}
+	}
+	bn.cachedInput = x
+	bn.cachedXHat = xhat
+	bn.cachedMean = means
+	bn.cachedInvSD = invSDs
+	return out
+}
+
+// Backward implements the standard batch-norm gradient:
+//
+//	dxhat = dout * gamma
+//	dx    = invSD/m * (m*dxhat - Σdxhat - xhat*Σ(dxhat*xhat))
+//
+// and accumulates dgamma = Σ dout*xhat, dbeta = Σ dout.
+func (bn *BatchNorm2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if bn.cachedInput == nil {
+		panic(fmt.Sprintf("nn: %s Backward without a training Forward", bn.name))
+	}
+	x := bn.cachedInput
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	plane := h * w
+	m := float64(n * plane)
+	gradIn := tensor.New(n, c, h, w)
+	for ch := 0; ch < c; ch++ {
+		g := float64(bn.Gamma.Data.Data()[ch])
+		invSD := bn.cachedInvSD[ch]
+		sumD, sumDX := 0.0, 0.0
+		for s := 0; s < n; s++ {
+			gsrc := grad.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			xh := bn.cachedXHat.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			for i, d := range gsrc {
+				sumD += float64(d)
+				sumDX += float64(d) * float64(xh[i])
+			}
+		}
+		bn.Gamma.Grad.Data()[ch] += float32(sumDX)
+		bn.Beta.Grad.Data()[ch] += float32(sumD)
+		k := g * invSD / m
+		for s := 0; s < n; s++ {
+			gsrc := grad.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			xh := bn.cachedXHat.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			dst := gradIn.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
+			for i, d := range gsrc {
+				dst[i] = float32(k * (m*float64(d) - sumD - float64(xh[i])*sumDX))
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Name returns the layer name.
+func (bn *BatchNorm2d) Name() string { return bn.name }

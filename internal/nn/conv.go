@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnas/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution layer with square kernels.
+type Conv2d struct {
+	name                string
+	InC, OutC           int
+	Kernel, Stride, Pad int
+
+	Weight *Param
+	Bias   *Param // nil when the layer is bias-free (conv before BatchNorm)
+
+	cachedInput *tensor.Tensor
+}
+
+// NewConv2d constructs a convolution layer with Kaiming-normal initialized
+// weights (fan-in mode, gain for ReLU). Set withBias=false for convolutions
+// followed by BatchNorm, matching the ResNet reference implementation.
+func NewConv2d(name string, rng *tensor.RNG, inC, outC, kernel, stride, pad int, withBias bool) *Conv2d {
+	if kernel <= 0 || stride <= 0 || pad < 0 || inC <= 0 || outC <= 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2d geometry in=%d out=%d k=%d s=%d p=%d", inC, outC, kernel, stride, pad))
+	}
+	fanIn := inC * kernel * kernel
+	std := math.Sqrt(2.0 / float64(fanIn))
+	c := &Conv2d{
+		name: name, InC: inC, OutC: outC,
+		Kernel: kernel, Stride: stride, Pad: pad,
+		Weight: newParam(name+".weight", tensor.RandNormal(rng, std, outC, inC, kernel, kernel)),
+	}
+	if withBias {
+		c.Bias = newParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Forward computes the convolution; in training mode the input is cached
+// for the backward pass.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape(c.name, x, -1, c.InC, -1, -1)
+	if train {
+		c.cachedInput = x
+	} else {
+		c.cachedInput = nil
+	}
+	var bias *tensor.Tensor
+	if c.Bias != nil {
+		bias = c.Bias.Data
+	}
+	return tensor.Conv2D(x, c.Weight.Data, bias, c.Stride, c.Pad)
+}
+
+// Backward propagates gradients, accumulating into Weight.Grad (and
+// Bias.Grad when present).
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cachedInput == nil {
+		panic(fmt.Sprintf("nn: %s Backward without a training Forward", c.name))
+	}
+	var gb *tensor.Tensor
+	if c.Bias != nil {
+		gb = c.Bias.Grad
+	}
+	return tensor.Conv2DBackward(c.cachedInput, c.Weight.Data, grad, c.Weight.Grad, gb, c.Stride, c.Pad)
+}
+
+// Params returns the layer's learnable parameters.
+func (c *Conv2d) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// Name returns the layer name.
+func (c *Conv2d) Name() string { return c.name }
+
+// OutSize returns the spatial output size for a given input size.
+func (c *Conv2d) OutSize(in int) int { return tensor.ConvOut(in, c.Kernel, c.Stride, c.Pad) }
+
+// Linear is a fully connected layer: y = x·Wᵀ + b for x of shape (N, in).
+type Linear struct {
+	name     string
+	In, Out  int
+	Weight   *Param // (Out, In)
+	Bias     *Param // (Out)
+	cachedIn *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with Kaiming-uniform-style
+// initialization (uniform in ±1/sqrt(in)).
+func NewLinear(name string, rng *tensor.RNG, in, out int) *Linear {
+	bound := 1.0 / math.Sqrt(float64(in))
+	return &Linear{
+		name: name, In: in, Out: out,
+		Weight: newParam(name+".weight", tensor.RandUniform(rng, -bound, bound, out, in)),
+		Bias:   newParam(name+".bias", tensor.RandUniform(rng, -bound, bound, out)),
+	}
+}
+
+// Forward computes the affine map.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape(l.name, x, -1, l.In)
+	if train {
+		l.cachedIn = x
+	} else {
+		l.cachedIn = nil
+	}
+	wT := tensor.Transpose2D(l.Weight.Data)
+	out := tensor.MatMul(x, wT) // (N, Out)
+	n := x.Dim(0)
+	for r := 0; r < n; r++ {
+		row := out.Data()[r*l.Out : (r+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.Data.Data()[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = gradᵀ·x and db = Σ grad rows, returning
+// gradIn = grad·W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.cachedIn == nil {
+		panic(fmt.Sprintf("nn: %s Backward without a training Forward", l.name))
+	}
+	gT := tensor.Transpose2D(grad) // (Out, N)
+	tensor.MatMulAcc(l.Weight.Grad, gT, l.cachedIn)
+	n := grad.Dim(0)
+	gb := l.Bias.Grad.Data()
+	for r := 0; r < n; r++ {
+		row := grad.Data()[r*l.Out : (r+1)*l.Out]
+		for j, v := range row {
+			gb[j] += v
+		}
+	}
+	return tensor.MatMul(grad, l.Weight.Data)
+}
+
+// Params returns weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Name returns the layer name.
+func (l *Linear) Name() string { return l.name }

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnas/internal/tensor"
+)
+
+// FuseConvBN folds an eval-mode BatchNorm into the preceding convolution,
+// the standard deployment transform for edge inference (it removes the BN
+// kernel entirely — the fusion the latency predictor's conv-bn kernels
+// assume):
+//
+//	W' = W · γ/√(σ²+ε)        (per output channel)
+//	b' = β + (b - μ) · γ/√(σ²+ε)
+//
+// The returned convolution has a bias and produces outputs identical to
+// conv followed by bn in eval mode. The inputs are not modified.
+func FuseConvBN(conv *Conv2d, bn *BatchNorm2d) (*Conv2d, error) {
+	if conv.OutC != bn.C {
+		return nil, fmt.Errorf("nn: FuseConvBN channel mismatch conv OutC=%d bn C=%d", conv.OutC, bn.C)
+	}
+	fused := &Conv2d{
+		name: conv.name + "+bn", InC: conv.InC, OutC: conv.OutC,
+		Kernel: conv.Kernel, Stride: conv.Stride, Pad: conv.Pad,
+		Weight: newParam(conv.name+"+bn.weight", conv.Weight.Data.Clone()),
+		Bias:   newParam(conv.name+"+bn.bias", tensor.New(conv.OutC)),
+	}
+	kdim := conv.InC * conv.Kernel * conv.Kernel
+	w := fused.Weight.Data.Data()
+	b := fused.Bias.Data.Data()
+	for oc := 0; oc < conv.OutC; oc++ {
+		gamma := float64(bn.Gamma.Data.Data()[oc])
+		beta := float64(bn.Beta.Data.Data()[oc])
+		scale := gamma / math.Sqrt(bn.RunningVar[oc]+bn.Eps)
+		row := w[oc*kdim : (oc+1)*kdim]
+		for i := range row {
+			row[i] = float32(float64(row[i]) * scale)
+		}
+		bias := 0.0
+		if conv.Bias != nil {
+			bias = float64(conv.Bias.Data.Data()[oc])
+		}
+		b[oc] = float32(beta + (bias-bn.RunningMean[oc])*scale)
+	}
+	return fused, nil
+}

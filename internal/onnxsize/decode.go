@@ -1,0 +1,133 @@
+package onnxsize
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Decoded is a parsed export container.
+type Decoded struct {
+	Graph GraphSpec
+	// Weights maps initializer names to their payload values.
+	Weights map[string][]float32
+}
+
+// Decode parses a container produced by Encode or Export, validating its
+// structure. It is the consumer side of the deployment format: a runtime
+// loading an exported model would read exactly this.
+func Decode(r io.Reader) (*Decoded, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("onnxsize: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("onnxsize: bad magic %q", head)
+	}
+	out := &Decoded{Weights: make(map[string][]float32)}
+	var err error
+	if out.Graph.Name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("onnxsize: graph name: %w", err)
+	}
+	nNodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("onnxsize: node count: %w", err)
+	}
+	if nNodes > 1<<20 {
+		return nil, fmt.Errorf("onnxsize: implausible node count %d", nNodes)
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		var node NodeSpec
+		if node.OpType, err = readString(br); err != nil {
+			return nil, fmt.Errorf("onnxsize: node %d op: %w", i, err)
+		}
+		if node.Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("onnxsize: node %d name: %w", i, err)
+		}
+		nAttrs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("onnxsize: node %d attrs: %w", i, err)
+		}
+		node.Attrs = make(map[string]int, nAttrs)
+		for a := uint64(0); a < nAttrs; a++ {
+			key, err := readString(br)
+			if err != nil {
+				return nil, fmt.Errorf("onnxsize: node %d attr key: %w", i, err)
+			}
+			val, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("onnxsize: node %d attr %s: %w", i, key, err)
+			}
+			node.Attrs[key] = int(val)
+		}
+		out.Graph.Nodes = append(out.Graph.Nodes, node)
+	}
+	nInits, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("onnxsize: initializer count: %w", err)
+	}
+	if nInits > 1<<20 {
+		return nil, fmt.Errorf("onnxsize: implausible initializer count %d", nInits)
+	}
+	for i := uint64(0); i < nInits; i++ {
+		var init InitializerSpec
+		if init.Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("onnxsize: initializer %d name: %w", i, err)
+		}
+		nDims, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("onnxsize: initializer %s dims: %w", init.Name, err)
+		}
+		if nDims > 8 {
+			return nil, fmt.Errorf("onnxsize: initializer %s has %d dims", init.Name, nDims)
+		}
+		for d := uint64(0); d < nDims; d++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("onnxsize: initializer %s dim %d: %w", init.Name, d, err)
+			}
+			init.Dims = append(init.Dims, int(v))
+		}
+		payload, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("onnxsize: initializer %s payload size: %w", init.Name, err)
+		}
+		if int(payload) != init.Numel()*4 {
+			return nil, fmt.Errorf("onnxsize: initializer %s payload %d bytes, dims imply %d",
+				init.Name, payload, init.Numel()*4)
+		}
+		raw := make([]byte, payload)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("onnxsize: initializer %s payload: %w", init.Name, err)
+		}
+		vals := make([]float32, init.Numel())
+		for j := range vals {
+			vals[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
+		}
+		out.Graph.Initializers = append(out.Graph.Initializers, init)
+		out.Weights[init.Name] = vals
+	}
+	// Trailing bytes indicate corruption.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("onnxsize: trailing data after container")
+	}
+	return out, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

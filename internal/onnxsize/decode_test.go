@@ -1,0 +1,110 @@
+package onnxsize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+func TestDecodeRoundTripStructure(t *testing.T) {
+	cfg := narrowConfig()
+	g, err := BuildGraphSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Graph.Name != g.Name {
+		t.Fatalf("name %q vs %q", dec.Graph.Name, g.Name)
+	}
+	if len(dec.Graph.Nodes) != len(g.Nodes) {
+		t.Fatalf("nodes %d vs %d", len(dec.Graph.Nodes), len(g.Nodes))
+	}
+	for i := range g.Nodes {
+		if dec.Graph.Nodes[i].OpType != g.Nodes[i].OpType || dec.Graph.Nodes[i].Name != g.Nodes[i].Name {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, dec.Graph.Nodes[i], g.Nodes[i])
+		}
+		for k, v := range g.Nodes[i].Attrs {
+			if dec.Graph.Nodes[i].Attrs[k] != v {
+				t.Fatalf("node %d attr %s: %d vs %d", i, k, dec.Graph.Nodes[i].Attrs[k], v)
+			}
+		}
+	}
+	if len(dec.Graph.Initializers) != len(g.Initializers) {
+		t.Fatalf("initializers %d vs %d", len(dec.Graph.Initializers), len(g.Initializers))
+	}
+}
+
+func TestDecodeRoundTripTrainedWeights(t *testing.T) {
+	cfg := narrowConfig()
+	m, err := resnet.New(cfg, tensor.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Export(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every model parameter must round-trip bit-exactly.
+	for _, p := range m.Params() {
+		got, ok := dec.Weights[p.Name]
+		if !ok {
+			t.Fatalf("parameter %s missing from decoded weights", p.Name)
+		}
+		want := p.Data.Data()
+		if len(got) != len(want) {
+			t.Fatalf("%s length %d vs %d", p.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: %v vs %v", p.Name, i, got[i], want[i])
+			}
+		}
+	}
+	// Running stats present too.
+	if _, ok := dec.Weights["bn1.running_mean"]; !ok {
+		t.Fatal("running statistics missing")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	cfg := narrowConfig()
+	g, _ := BuildGraphSpec(cfg)
+	var buf bytes.Buffer
+	if _, err := Encode(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+	// Truncation.
+	if _, err := Decode(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated container not rejected")
+	}
+	// Trailing garbage.
+	if _, err := Decode(bytes.NewReader(append(append([]byte{}, data...), 0x01))); err == nil {
+		t.Fatal("trailing data not rejected")
+	}
+	// Empty input.
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input not rejected")
+	}
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import "sync"
+
+// Pool is a fixed-size worker pool for heterogeneous tasks. Unlike For,
+// which is optimized for homogeneous loop bodies, Pool accepts arbitrary
+// closures and is intended for coarse-grained units such as NAS trials or
+// per-fold training jobs. The zero value is not usable; construct with
+// NewPool and release with Close.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup // running workers
+	inFly sync.WaitGroup // submitted-but-unfinished tasks
+	once  sync.Once
+}
+
+// NewPool starts `workers` goroutines (DefaultWorkers if workers <= 0)
+// waiting for tasks.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	p := &Pool{tasks: make(chan func(), workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+				p.inFly.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task. It blocks while all workers are busy and the
+// backlog buffer is full, providing natural backpressure for producers that
+// generate work faster than it can run. Submit must not be called after
+// Close.
+func (p *Pool) Submit(task func()) {
+	p.inFly.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until every task submitted so far has completed. The pool
+// remains usable afterwards.
+func (p *Pool) Wait() {
+	p.inFly.Wait()
+}
+
+// Close waits for outstanding tasks and shuts the workers down. It is
+// idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.inFly.Wait()
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}
+
+// Map runs fn(i) for every i in [0, n) on a transient pool of `workers`
+// goroutines and returns when all calls are done. It is a convenience for
+// coarse-grained fan-out where each call may take a very different amount of
+// time (dynamic load balancing via the shared queue, in contrast to the
+// static chunking of For).
+func Map(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hypervolume computes the dominated hypervolume of a point set with
+// respect to a reference point: the volume of objective space dominated by
+// at least one point and bounded by ref. It is the standard scalar quality
+// indicator for Pareto fronts — larger is better.
+//
+// Directions are handled by mirroring maximized objectives, so ref must be
+// a point that every input point dominates (e.g. worst-corner values).
+// Points not strictly better than ref on every objective contribute
+// nothing. The implementation is the WFG exclusive-hypervolume recursion,
+// exact in any dimension and fast for the front sizes this library
+// produces (tens of points).
+func Hypervolume(points []Point, dirs []Direction, ref []float64) float64 {
+	if len(dirs) != len(ref) {
+		panic(fmt.Sprintf("pareto: Hypervolume arity mismatch dirs=%d ref=%d", len(dirs), len(ref)))
+	}
+	// Mirror everything into minimization space.
+	minRef := make([]float64, len(ref))
+	for i, d := range dirs {
+		switch d {
+		case Minimize:
+			minRef[i] = ref[i]
+		case Maximize:
+			minRef[i] = -ref[i]
+		default:
+			panic(fmt.Sprintf("pareto: invalid direction %d", d))
+		}
+	}
+	var set [][]float64
+	for _, p := range points {
+		if len(p.Values) != len(dirs) {
+			panic(fmt.Sprintf("pareto: Hypervolume point arity %d, want %d", len(p.Values), len(dirs)))
+		}
+		v := make([]float64, len(dirs))
+		ok := true
+		for i, d := range dirs {
+			x := p.Values[i]
+			if d == Maximize {
+				x = -x
+			}
+			if x >= minRef[i] {
+				ok = false // does not dominate ref on this axis
+			}
+			v[i] = x
+		}
+		if ok {
+			set = append(set, v)
+		}
+	}
+	set = filterDominatedMin(set)
+	return wfg(set, minRef)
+}
+
+// filterDominatedMin removes points dominated in pure-minimization space —
+// WFG's recursion is correct either way but much faster on a clean front.
+func filterDominatedMin(set [][]float64) [][]float64 {
+	var out [][]float64
+	for i, p := range set {
+		dominated := false
+		for j, q := range set {
+			if i == j {
+				continue
+			}
+			if dominatesMin(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dominatesMin reports q ≤ p componentwise with at least one strict (both
+// minimization vectors).
+func dominatesMin(q, p []float64) bool {
+	strict := false
+	for i := range q {
+		if q[i] > p[i] {
+			return false
+		}
+		if q[i] < p[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// wfg computes the hypervolume of a minimization set against ref via the
+// WFG exclusive-volume recursion.
+func wfg(set [][]float64, ref []float64) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	// Sorting by the first objective descending improves the limit sets.
+	sort.Slice(set, func(a, b int) bool { return set[a][0] > set[b][0] })
+	total := 0.0
+	for i, p := range set {
+		total += exclhv(p, set[i+1:], ref)
+	}
+	return total
+}
+
+// exclhv is the volume dominated by p alone, excluding the region also
+// dominated by any point of rest.
+func exclhv(p []float64, rest [][]float64, ref []float64) float64 {
+	vol := 1.0
+	for i := range p {
+		vol *= ref[i] - p[i]
+	}
+	if len(rest) == 0 {
+		return vol
+	}
+	limited := make([][]float64, 0, len(rest))
+	for _, q := range rest {
+		l := make([]float64, len(q))
+		for i := range q {
+			l[i] = math.Max(q[i], p[i])
+		}
+		limited = append(limited, l)
+	}
+	return vol - wfg(filterDominatedMin(limited), ref)
+}
+
+// ReferenceFromWorst builds a hypervolume reference point from the worst
+// observed value per objective, offset outward by margin (a fraction of the
+// objective's span) so boundary points contribute volume.
+func ReferenceFromWorst(points []Point, dirs []Direction, margin float64) []float64 {
+	mins, maxs := Ranges(points)
+	ref := make([]float64, len(dirs))
+	for i, d := range dirs {
+		span := maxs[i] - mins[i]
+		if span == 0 {
+			span = 1
+		}
+		switch d {
+		case Minimize:
+			ref[i] = maxs[i] + margin*span
+		case Maximize:
+			ref[i] = mins[i] - margin*span
+		}
+	}
+	return ref
+}
+
+// KneePoint returns the index (into points) of the front member closest to
+// the ideal point under the Chebyshev distance on normalized objectives —
+// the conventional "best compromise" pick from a Pareto front. front holds
+// indices into points; normalization spans the whole point set.
+func KneePoint(points []Point, front []int, dirs []Direction) int {
+	if len(front) == 0 {
+		return -1
+	}
+	norm := Normalize(points)
+	best := front[0]
+	bestDist := math.Inf(1)
+	for _, idx := range front {
+		d := 0.0
+		for i, dir := range dirs {
+			v := norm[idx].Values[i]
+			// Ideal is 1 for maximized, 0 for minimized objectives.
+			var gap float64
+			if dir == Maximize {
+				gap = 1 - v
+			} else {
+				gap = v
+			}
+			if gap > d {
+				d = gap
+			}
+		}
+		if d < bestDist {
+			bestDist = d
+			best = idx
+		}
+	}
+	return best
+}

@@ -1,0 +1,154 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drainnas/internal/tensor"
+)
+
+func TestHypervolumeSingleBox(t *testing.T) {
+	// One minimization point at (1,1) with ref (3,3) dominates a 2x2 box.
+	points := []Point{pt(0, 1, 1)}
+	dirs := []Direction{Minimize, Minimize}
+	got := Hypervolume(points, dirs, []float64{3, 3})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("hv=%v want 4", got)
+	}
+}
+
+func TestHypervolumeTwoBoxesOverlap(t *testing.T) {
+	// (1,2) and (2,1) vs ref (3,3): 2x1 + 1x2 + shared 1x1 counted once = 3.
+	points := []Point{pt(0, 1, 2), pt(1, 2, 1)}
+	dirs := []Direction{Minimize, Minimize}
+	got := Hypervolume(points, dirs, []float64{3, 3})
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("hv=%v want 3", got)
+	}
+}
+
+func TestHypervolume3DKnownValue(t *testing.T) {
+	// Two 3-D points: (0,0,1) and (1,1,0) vs ref (2,2,2).
+	// Box A: 2*2*1=4. Box B: 1*1*2=2. Intersection: 1*1*1=1. Union = 5.
+	points := []Point{pt(0, 0, 0, 1), pt(1, 1, 1, 0)}
+	dirs := []Direction{Minimize, Minimize, Minimize}
+	got := Hypervolume(points, dirs, []float64{2, 2, 2})
+	if math.Abs(got-5) > 1e-12 {
+		t.Fatalf("hv=%v want 5", got)
+	}
+}
+
+func TestHypervolumeMaximizeMirrors(t *testing.T) {
+	// Maximizing the first axis: point (5, 1) with ref (2, 3) covers
+	// (5-2)*(3-1) = 6.
+	points := []Point{pt(0, 5, 1)}
+	dirs := []Direction{Maximize, Minimize}
+	got := Hypervolume(points, dirs, []float64{2, 3})
+	if math.Abs(got-6) > 1e-12 {
+		t.Fatalf("hv=%v want 6", got)
+	}
+}
+
+func TestHypervolumeIgnoresPointsBeyondRef(t *testing.T) {
+	points := []Point{pt(0, 1, 1), pt(1, 5, 5)} // second is outside ref
+	dirs := []Direction{Minimize, Minimize}
+	got := Hypervolume(points, dirs, []float64{3, 3})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("hv=%v want 4", got)
+	}
+	if Hypervolume(nil, dirs, []float64{3, 3}) != 0 {
+		t.Fatal("empty set must have zero hypervolume")
+	}
+}
+
+func TestHypervolumeMonotoneUnderAddition(t *testing.T) {
+	// Property: adding a point never decreases the hypervolume.
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		dirs := []Direction{Minimize, Minimize, Minimize}
+		ref := []float64{1, 1, 1}
+		var points []Point
+		prev := 0.0
+		for i := 0; i < 8; i++ {
+			points = append(points, pt(i, rng.Float64(), rng.Float64(), rng.Float64()))
+			hv := Hypervolume(points, dirs, ref)
+			if hv < prev-1e-12 {
+				return false
+			}
+			prev = hv
+		}
+		return prev <= 1+1e-12 // bounded by the unit cube
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypervolumeDominatedPointAddsNothing(t *testing.T) {
+	dirs := []Direction{Minimize, Minimize}
+	ref := []float64{4, 4}
+	base := []Point{pt(0, 1, 1)}
+	with := []Point{pt(0, 1, 1), pt(1, 2, 2)}
+	if Hypervolume(base, dirs, ref) != Hypervolume(with, dirs, ref) {
+		t.Fatal("dominated point changed hypervolume")
+	}
+}
+
+func TestReferenceFromWorst(t *testing.T) {
+	points := []Point{pt(0, 90, 10, 11), pt(1, 96, 30, 44)}
+	dirs := []Direction{Maximize, Minimize, Minimize}
+	ref := ReferenceFromWorst(points, dirs, 0.1)
+	// Accuracy (maximized): worst is 90, span 6 → ref 89.4.
+	if math.Abs(ref[0]-89.4) > 1e-9 {
+		t.Fatalf("ref[0]=%v", ref[0])
+	}
+	// Latency (minimized): worst 30, span 20 → 32.
+	if math.Abs(ref[1]-32) > 1e-9 {
+		t.Fatalf("ref[1]=%v", ref[1])
+	}
+	// Every point must dominate the reference → positive hypervolume.
+	if hv := Hypervolume(points, dirs, ref); hv <= 0 {
+		t.Fatalf("hv=%v", hv)
+	}
+}
+
+func TestKneePointPicksCompromise(t *testing.T) {
+	// Extremes and one balanced point; the knee is the balanced one.
+	points := []Point{
+		pt(0, 1.0, 1.0), // best accuracy, worst latency
+		pt(1, 0.0, 0.0), // worst accuracy, best latency
+		pt(2, 0.8, 0.2), // compromise
+	}
+	dirs := []Direction{Maximize, Minimize}
+	knee := KneePoint(points, []int{0, 1, 2}, dirs)
+	if knee != 2 {
+		t.Fatalf("knee=%d want 2", knee)
+	}
+	if KneePoint(points, nil, dirs) != -1 {
+		t.Fatal("empty front must return -1")
+	}
+}
+
+func TestHypervolumeOrderInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		dirs := []Direction{Minimize, Minimize, Minimize}
+		ref := []float64{1, 1, 1}
+		pts := make([]Point, 6)
+		for i := range pts {
+			pts[i] = pt(i, rng.Float64(), rng.Float64(), rng.Float64())
+		}
+		a := Hypervolume(pts, dirs, ref)
+		// Reverse order.
+		rev := make([]Point, len(pts))
+		for i := range pts {
+			rev[i] = pts[len(pts)-1-i]
+		}
+		b := Hypervolume(rev, dirs, ref)
+		return math.Abs(a-b) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

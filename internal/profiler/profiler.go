@@ -1,0 +1,165 @@
+// Package profiler provides the experiment-profiling facility the paper's
+// §5 proposes building with NVIDIA Nsight: per-trial and per-phase timing
+// and allocation accounting for NAS runs, so the experimenter can see where
+// the search budget goes (data loading vs training vs evaluation) and size
+// future experiments accordingly.
+//
+// The profiler is concurrency-safe: trials running on parallel workers
+// record into per-goroutine spans that are merged on Summary.
+package profiler
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one completed timed region.
+type Span struct {
+	Phase    string
+	Start    time.Time
+	Duration time.Duration
+	// AllocBytes is the goroutine-observed heap growth during the span
+	// (approximate: runtime.MemStats deltas are process-wide).
+	AllocBytes uint64
+}
+
+// Profiler accumulates spans.
+type Profiler struct {
+	mu    sync.Mutex
+	spans []Span
+	start time.Time
+}
+
+// New creates an empty profiler anchored at the current time.
+func New() *Profiler {
+	return &Profiler{start: time.Now()}
+}
+
+// Start opens a timed region for phase; call the returned stop function to
+// record it. Nested and concurrent regions are fine.
+func (p *Profiler) Start(phase string) (stop func()) {
+	begin := time.Now()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocBefore := ms.TotalAlloc
+	return func() {
+		runtime.ReadMemStats(&ms)
+		span := Span{
+			Phase:      phase,
+			Start:      begin,
+			Duration:   time.Since(begin),
+			AllocBytes: ms.TotalAlloc - allocBefore,
+		}
+		p.mu.Lock()
+		p.spans = append(p.spans, span)
+		p.mu.Unlock()
+	}
+}
+
+// Record adds an externally timed span.
+func (p *Profiler) Record(phase string, d time.Duration) {
+	p.mu.Lock()
+	p.spans = append(p.spans, Span{Phase: phase, Start: time.Now().Add(-d), Duration: d})
+	p.mu.Unlock()
+}
+
+// PhaseStats summarizes one phase.
+type PhaseStats struct {
+	Phase      string
+	Count      int
+	Total      time.Duration
+	Mean       time.Duration
+	Max        time.Duration
+	AllocBytes uint64
+}
+
+// Summary aggregates spans per phase, ordered by descending total time.
+func (p *Profiler) Summary() []PhaseStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byPhase := map[string]*PhaseStats{}
+	for _, s := range p.spans {
+		st, ok := byPhase[s.Phase]
+		if !ok {
+			st = &PhaseStats{Phase: s.Phase}
+			byPhase[s.Phase] = st
+		}
+		st.Count++
+		st.Total += s.Duration
+		if s.Duration > st.Max {
+			st.Max = s.Duration
+		}
+		st.AllocBytes += s.AllocBytes
+	}
+	out := make([]PhaseStats, 0, len(byPhase))
+	for _, st := range byPhase {
+		st.Mean = st.Total / time.Duration(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Total > out[b].Total })
+	return out
+}
+
+// WallTime returns the elapsed time since the profiler was created.
+func (p *Profiler) WallTime() time.Duration { return time.Since(p.start) }
+
+// Utilization estimates the parallel efficiency of a run: summed span time
+// divided by (wall time × workers). Values near 1 mean the worker pool
+// stayed busy; low values point at serialization or load imbalance —
+// exactly the signal the paper wants from Nsight profiles.
+func (p *Profiler) Utilization(workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	wall := p.WallTime()
+	if wall <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	var busy time.Duration
+	for _, s := range p.spans {
+		busy += s.Duration
+	}
+	p.mu.Unlock()
+	u := float64(busy) / (float64(wall) * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Render formats the summary as an aligned report.
+func (p *Profiler) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %12s %12s %10s\n",
+		"phase", "count", "total", "mean", "max", "alloc")
+	for _, st := range p.Summary() {
+		fmt.Fprintf(&b, "%-24s %8d %12s %12s %12s %9.1fM\n",
+			st.Phase, st.Count,
+			st.Total.Round(time.Microsecond),
+			st.Mean.Round(time.Microsecond),
+			st.Max.Round(time.Microsecond),
+			float64(st.AllocBytes)/1e6)
+	}
+	fmt.Fprintf(&b, "wall time: %s\n", p.WallTime().Round(time.Millisecond))
+	return b.String()
+}
+
+// Reset discards all recorded spans and re-anchors the wall clock.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.spans = nil
+	p.start = time.Now()
+	p.mu.Unlock()
+}
+
+// SpanCount returns the number of recorded spans.
+func (p *Profiler) SpanCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.spans)
+}

@@ -1,0 +1,98 @@
+package profiler
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartStopRecordsSpan(t *testing.T) {
+	p := New()
+	stop := p.Start("train")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if p.SpanCount() != 1 {
+		t.Fatalf("spans %d", p.SpanCount())
+	}
+	s := p.Summary()
+	if len(s) != 1 || s[0].Phase != "train" || s[0].Count != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s[0].Total < 2*time.Millisecond {
+		t.Fatalf("total %v too small", s[0].Total)
+	}
+}
+
+func TestSummaryAggregatesAndSorts(t *testing.T) {
+	p := New()
+	p.Record("eval", 10*time.Millisecond)
+	p.Record("eval", 30*time.Millisecond)
+	p.Record("data", 5*time.Millisecond)
+	s := p.Summary()
+	if len(s) != 2 {
+		t.Fatalf("phases %d", len(s))
+	}
+	if s[0].Phase != "eval" {
+		t.Fatalf("expected eval first (largest total), got %s", s[0].Phase)
+	}
+	if s[0].Count != 2 || s[0].Total != 40*time.Millisecond {
+		t.Fatalf("eval stats %+v", s[0])
+	}
+	if s[0].Mean != 20*time.Millisecond || s[0].Max != 30*time.Millisecond {
+		t.Fatalf("eval mean/max %+v", s[0])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				stop := p.Start("worker")
+				stop()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.SpanCount() != 400 {
+		t.Fatalf("spans %d, want 400", p.SpanCount())
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	p := New()
+	p.Record("t", 2*time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	u := p.Utilization(1)
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+	// More workers → lower utilization for the same busy time.
+	if p.Utilization(8) >= u {
+		t.Fatal("utilization must fall with more workers")
+	}
+}
+
+func TestRenderContainsPhases(t *testing.T) {
+	p := New()
+	p.Record("training", 3*time.Millisecond)
+	out := p.Render()
+	for _, want := range []string{"phase", "training", "wall time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Record("x", time.Millisecond)
+	p.Reset()
+	if p.SpanCount() != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+}

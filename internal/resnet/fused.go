@@ -1,0 +1,119 @@
+package resnet
+
+import (
+	"fmt"
+
+	"drainnas/internal/nn"
+	"drainnas/internal/tensor"
+)
+
+// FusedModel is the deployment form of a trained Model: every
+// Conv→BatchNorm pair is folded into a single biased convolution, matching
+// the fused conv-bn kernels the latency predictor prices. It is
+// inference-only.
+type FusedModel struct {
+	Config Config
+
+	stemConv *nn.Conv2d
+	stemPool *nn.MaxPool2d // nil without pooling
+	blocks   []fusedBlock
+	fc       *nn.Linear
+}
+
+// fusedBlock is a BasicBlock with its BNs folded away.
+type fusedBlock struct {
+	conv1, conv2 *nn.Conv2d
+	down         *nn.Conv2d // nil for identity shortcuts
+}
+
+// Fuse converts a trained model into its deployment form. The model's
+// BatchNorm running statistics must be populated (i.e. the model has seen
+// training batches); a freshly initialized model fuses too, it just bakes
+// in the initial statistics.
+func Fuse(m *Model) (*FusedModel, error) {
+	var stemConv *nn.Conv2d
+	var stemPool *nn.MaxPool2d
+	// Stem layout: Conv, BN, ReLU, [MaxPool].
+	var conv *nn.Conv2d
+	for _, l := range m.Stem.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2d:
+			conv = v
+		case *nn.BatchNorm2d:
+			fc, err := nn.FuseConvBN(conv, v)
+			if err != nil {
+				return nil, fmt.Errorf("resnet: fusing stem: %w", err)
+			}
+			stemConv = fc
+		case *nn.MaxPool2d:
+			stemPool = v
+		}
+	}
+	if stemConv == nil {
+		return nil, fmt.Errorf("resnet: stem has no conv+bn pair to fuse")
+	}
+
+	fm := &FusedModel{Config: m.Config, stemConv: stemConv, stemPool: stemPool}
+	for _, b := range m.Stages {
+		c1, err := nn.FuseConvBN(b.Conv1, b.BN1)
+		if err != nil {
+			return nil, fmt.Errorf("resnet: fusing %s: %w", b.Name(), err)
+		}
+		c2, err := nn.FuseConvBN(b.Conv2, b.BN2)
+		if err != nil {
+			return nil, fmt.Errorf("resnet: fusing %s: %w", b.Name(), err)
+		}
+		fb := fusedBlock{conv1: c1, conv2: c2}
+		if b.DownConv != nil {
+			d, err := nn.FuseConvBN(b.DownConv, b.DownBN)
+			if err != nil {
+				return nil, fmt.Errorf("resnet: fusing %s shortcut: %w", b.Name(), err)
+			}
+			fb.down = d
+		}
+		fm.blocks = append(fm.blocks, fb)
+	}
+	// The head is GlobalAvgPool + Linear; reuse the trained Linear.
+	for _, l := range m.Head.Layers {
+		if fc, ok := l.(*nn.Linear); ok {
+			fm.fc = fc
+		}
+	}
+	if fm.fc == nil {
+		return nil, fmt.Errorf("resnet: head has no linear layer")
+	}
+	return fm, nil
+}
+
+// Forward runs deployment inference, producing logits identical (up to
+// float rounding) to the source model's eval-mode forward.
+func (f *FusedModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	x = tensor.ReLU(f.stemConv.Forward(x, false))
+	if f.stemPool != nil {
+		x = f.stemPool.Forward(x, false)
+	}
+	for _, b := range f.blocks {
+		main := tensor.ReLU(b.conv1.Forward(x, false))
+		main = b.conv2.Forward(main, false)
+		shortcut := x
+		if b.down != nil {
+			shortcut = b.down.Forward(x, false)
+		}
+		x = tensor.ReLU(tensor.AddInPlace(main, shortcut))
+	}
+	pooled := tensor.GlobalAvgPool2D(x)
+	return f.fc.Forward(pooled, false)
+}
+
+// NumParams counts the deployment model's parameters; folding BN removes
+// its γ/β (they are absorbed) so this is smaller than the training model.
+func (f *FusedModel) NumParams() int {
+	n := nn.NumParams(f.stemConv.Params()) + nn.NumParams(f.fc.Params())
+	for _, b := range f.blocks {
+		n += nn.NumParams(b.conv1.Params()) + nn.NumParams(b.conv2.Params())
+		if b.down != nil {
+			n += nn.NumParams(b.down.Params())
+		}
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package resnet
+
+import (
+	"math"
+	"testing"
+
+	"drainnas/internal/nn"
+	"drainnas/internal/tensor"
+)
+
+// trainBriefly pushes a few batches through the model so BatchNorm running
+// statistics move away from their initialization.
+func trainBriefly(t *testing.T, m *Model, rng *tensor.RNG) {
+	t.Helper()
+	opt := nn.NewSGD(m.Params(), 0.01, 0.9, 0)
+	for i := 0; i < 4; i++ {
+		x := tensor.RandNormal(rng, 1, 4, m.Config.Channels, 32, 32)
+		y := m.Forward(x, true)
+		_, g := nn.CrossEntropy(y, []int{0, 1, 0, 1})
+		nn.ZeroGrad(m.Params())
+		m.Backward(g)
+		opt.Step()
+	}
+}
+
+func TestFusedModelMatchesEvalForward(t *testing.T) {
+	for _, cfg := range []Config{
+		{Channels: 5, Batch: 4, KernelSize: 3, Stride: 2, Padding: 1,
+			PoolChoice: 0, InitialOutputFeature: 8, NumClasses: 2},
+		{Channels: 7, Batch: 4, KernelSize: 7, Stride: 2, Padding: 3,
+			PoolChoice: 1, KernelSizePool: 3, StridePool: 2, InitialOutputFeature: 8, NumClasses: 2},
+	} {
+		rng := tensor.NewRNG(21)
+		m, err := New(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainBriefly(t, m, rng)
+		fused, err := Fuse(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.RandNormal(rng, 1, 3, cfg.Channels, 32, 32)
+		want := m.Forward(x, false)
+		got := fused.Forward(x)
+		if !got.SameShape(want) {
+			t.Fatalf("cfg %s: shape %v vs %v", cfg.Key(), got.Shape(), want.Shape())
+		}
+		for i := range got.Data() {
+			diff := math.Abs(float64(got.Data()[i] - want.Data()[i]))
+			scale := 1 + math.Abs(float64(want.Data()[i]))
+			if diff > 1e-3*scale {
+				t.Fatalf("cfg %s: logit %d fused %v vs eval %v", cfg.Key(), i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestFusedModelSmallerThanTraining(t *testing.T) {
+	cfg := StockResNet18(5, 8)
+	cfg.InitialOutputFeature = 16
+	m, _ := New(cfg, tensor.NewRNG(3))
+	fused, err := Fuse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folding BN removes its γ/β but adds conv biases: net change is
+	// -2C+C = -C per fused pair.
+	if fused.NumParams() >= m.NumParams() {
+		t.Fatalf("fused params %d, training params %d", fused.NumParams(), m.NumParams())
+	}
+}
+
+func TestFuseConvBNExactOnKnownValues(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	conv := nn.NewConv2d("c", rng, 1, 2, 3, 1, 1, false)
+	bn := nn.NewBatchNorm2d("bn", 2)
+	bn.Gamma.Data.Data()[0] = 2
+	bn.Beta.Data.Data()[0] = -1
+	bn.RunningMean[0] = 0.5
+	bn.RunningVar[0] = 4
+	fused, err := nn.FuseConvBN(conv, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(rng, 1, 2, 1, 6, 6)
+	want := bn.Forward(conv.Forward(x, false), false)
+	got := fused.Forward(x, false)
+	for i := range got.Data() {
+		if math.Abs(float64(got.Data()[i]-want.Data()[i])) > 1e-4 {
+			t.Fatalf("elem %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestFuseConvBNChannelMismatch(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	conv := nn.NewConv2d("c", rng, 1, 2, 3, 1, 1, false)
+	bn := nn.NewBatchNorm2d("bn", 3)
+	if _, err := nn.FuseConvBN(conv, bn); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestFusedForwardFasterPath(t *testing.T) {
+	// Not a timing assertion (too flaky for CI), just that the fused model
+	// executes fewer layers: no BN normalization work remains.
+	cfg := Config{Channels: 5, Batch: 2, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, InitialOutputFeature: 8, NumClasses: 2}
+	m, _ := New(cfg, tensor.NewRNG(7))
+	fused, err := Fuse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(tensor.NewRNG(8), 1, 2, 5, 32, 32)
+	if out := fused.Forward(x); out.HasNaN() {
+		t.Fatal("fused forward produced NaN")
+	}
+}

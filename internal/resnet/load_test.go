@@ -1,0 +1,126 @@
+package resnet
+
+import (
+	"testing"
+
+	"drainnas/internal/nn"
+	"drainnas/internal/tensor"
+)
+
+func TestConfigFromGraphName(t *testing.T) {
+	cfg := Config{Channels: 5, Batch: 8, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 1, KernelSizePool: 3, StridePool: 2, InitialOutputFeature: 32, NumClasses: 2}
+	arch := cfg.Canonical()
+	arch.Batch = 1
+	name := "resnet18-" + arch.Key()
+	got, err := ConfigFromGraphName(name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KernelSize != 3 || got.Stride != 2 || got.Padding != 1 ||
+		got.PoolChoice != 1 || got.KernelSizePool != 3 || got.StridePool != 2 ||
+		got.InitialOutputFeature != 32 || got.Channels != 5 || got.NumClasses != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// No-pool canonical names restore placeholder pool axes.
+	noPool := cfg
+	noPool.PoolChoice = 0
+	arch2 := noPool.Canonical()
+	arch2.Batch = 1
+	got2, err := ConfigFromGraphName("resnet18-"+arch2.Key(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.PoolChoice != 0 || got2.KernelSizePool == 0 {
+		t.Fatalf("no-pool round trip: %+v", got2)
+	}
+	if err := got2.Validate(); err != nil {
+		t.Fatalf("restored config invalid: %v", err)
+	}
+	if _, err := ConfigFromGraphName("garbage", 2); err == nil {
+		t.Fatal("garbage name accepted")
+	}
+}
+
+func TestLoadWeightsRoundTrip(t *testing.T) {
+	cfg := Config{Channels: 5, Batch: 4, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 1, KernelSizePool: 3, StridePool: 2, InitialOutputFeature: 8, NumClasses: 2}
+	src, err := New(cfg, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move BN stats away from init.
+	x := tensor.RandNormal(tensor.NewRNG(2), 1, 4, 5, 32, 32)
+	src.Forward(x, true)
+
+	// Collect weights the way an exported container would present them.
+	weights := make(map[string][]float32)
+	for _, p := range src.Params() {
+		weights[p.Name] = append([]float32(nil), p.Data.Data()...)
+	}
+	collectBN := func(name string, mean, variance []float64) {
+		m32 := make([]float32, len(mean))
+		v32 := make([]float32, len(variance))
+		for i := range mean {
+			m32[i] = float32(mean[i])
+			v32[i] = float32(variance[i])
+		}
+		weights[name+".running_mean"] = m32
+		weights[name+".running_var"] = v32
+	}
+	collectBN("bn1", stemBN(src).RunningMean, stemBN(src).RunningVar)
+	for _, b := range src.Stages {
+		collectBN(b.BN1.Name(), b.BN1.RunningMean, b.BN1.RunningVar)
+		collectBN(b.BN2.Name(), b.BN2.RunningMean, b.BN2.RunningVar)
+		if b.DownBN != nil {
+			collectBN(b.DownBN.Name(), b.DownBN.RunningMean, b.DownBN.RunningVar)
+		}
+	}
+
+	dst, err := New(cfg, tensor.NewRNG(999)) // different init
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(dst, weights); err != nil {
+		t.Fatal(err)
+	}
+	// Same eval-mode outputs bit for bit (same weights, same running stats,
+	// within float32 conversion of the stats).
+	probe := tensor.RandNormal(tensor.NewRNG(3), 1, 2, 5, 32, 32)
+	a := src.Forward(probe, false)
+	b := dst.Forward(probe, false)
+	for i := range a.Data() {
+		diff := a.Data()[i] - b.Data()[i]
+		if diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("logit %d: %v vs %v", i, a.Data()[i], b.Data()[i])
+		}
+	}
+}
+
+func TestLoadWeightsRejectsIncomplete(t *testing.T) {
+	cfg := Config{Channels: 5, Batch: 4, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, InitialOutputFeature: 8, NumClasses: 2}
+	m, _ := New(cfg, tensor.NewRNG(1))
+	if err := LoadWeights(m, map[string][]float32{}); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	// Wrong size for one tensor.
+	weights := make(map[string][]float32)
+	for _, p := range m.Params() {
+		weights[p.Name] = make([]float32, p.Data.Numel())
+	}
+	weights["conv1.weight"] = make([]float32, 1)
+	if err := LoadWeights(m, weights); err == nil {
+		t.Fatal("mis-sized tensor accepted")
+	}
+}
+
+// stemBN digs the stem's BatchNorm out for the test.
+func stemBN(m *Model) *nn.BatchNorm2d {
+	for _, l := range m.Stem.Layers {
+		if bn, ok := l.(*nn.BatchNorm2d); ok {
+			return bn
+		}
+	}
+	panic("stem BN not found")
+}

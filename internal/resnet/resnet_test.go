@@ -1,0 +1,268 @@
+package resnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drainnas/internal/nn"
+	"drainnas/internal/tensor"
+)
+
+func TestStockResNet18ParamCount(t *testing.T) {
+	// The canonical ResNet-18 (3-channel ImageNet, 1000 classes) has
+	// 11,689,512 parameters; our builder must match exactly.
+	cfg := StockResNet18(3, 8)
+	cfg.NumClasses = 1000
+	m, err := New(cfg, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumParams(); got != 11689512 {
+		t.Fatalf("stock ResNet-18 params = %d, want 11689512", got)
+	}
+}
+
+func TestParamCountScalesWithChannelsAndWidth(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m5, _ := New(StockResNet18(5, 8), r)
+	m7, _ := New(StockResNet18(7, 8), r)
+	// Going 5 → 7 input channels adds exactly 2*64*7*7 conv1 weights.
+	if diff := m7.NumParams() - m5.NumParams(); diff != 2*64*7*7 {
+		t.Fatalf("channel param delta = %d, want %d", diff, 2*64*7*7)
+	}
+	narrow := StockResNet18(5, 8)
+	narrow.InitialOutputFeature = 32
+	mN, _ := New(narrow, r)
+	if mN.NumParams() >= m5.NumParams() {
+		t.Fatal("narrower model must have fewer parameters")
+	}
+	// Width halving shrinks conv-dominated parameter count ~4x.
+	ratio := float64(m5.NumParams()) / float64(mN.NumParams())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("width-halving param ratio %.2f, want ≈4", ratio)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	r := tensor.NewRNG(2)
+	for _, cfg := range []Config{
+		StockResNet18(5, 8),
+		{Channels: 7, Batch: 16, KernelSize: 3, Stride: 2, Padding: 1,
+			PoolChoice: 0, InitialOutputFeature: 32, NumClasses: 2},
+		{Channels: 5, Batch: 8, KernelSize: 3, Stride: 1, Padding: 1,
+			PoolChoice: 1, KernelSizePool: 2, StridePool: 2, InitialOutputFeature: 48, NumClasses: 2},
+	} {
+		m, err := New(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.RandNormal(r, 1, 2, cfg.Channels, 64, 64)
+		y := m.Forward(x, false)
+		if y.Dim(0) != 2 || y.Dim(1) != cfg.NumClasses {
+			t.Fatalf("cfg %s: output shape %v", cfg.Key(), y.Shape())
+		}
+		if y.HasNaN() {
+			t.Fatalf("cfg %s: NaN in output", cfg.Key())
+		}
+	}
+}
+
+func TestCheckSpatial(t *testing.T) {
+	cfg := StockResNet18(5, 8)
+	final, err := cfg.CheckSpatial(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 → conv s2 → 32 → pool s2 → 16 → three stride-2 stages → 2.
+	if final != 2 {
+		t.Fatalf("final spatial = %d, want 2", final)
+	}
+	// A stem conv larger than the (unpadded) input must be rejected.
+	noPad := cfg
+	noPad.Padding = 0
+	if _, err := noPad.CheckSpatial(6); err == nil {
+		t.Fatal("expected spatial collapse error for 6px unpadded input")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Channels: 5, Batch: 8, KernelSize: 3, Stride: 0, Padding: 1, InitialOutputFeature: 32, NumClasses: 2},
+		{Channels: 5, Batch: 8, KernelSize: 3, Stride: 1, Padding: -1, InitialOutputFeature: 32, NumClasses: 2},
+		{Channels: 5, Batch: 8, KernelSize: 3, Stride: 1, Padding: 1, PoolChoice: 2, InitialOutputFeature: 32, NumClasses: 2},
+		{Channels: 5, Batch: 8, KernelSize: 3, Stride: 1, Padding: 1, PoolChoice: 1, KernelSizePool: 0, StridePool: 2, InitialOutputFeature: 32, NumClasses: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := StockResNet18(7, 16).Validate(); err != nil {
+		t.Errorf("stock config rejected: %v", err)
+	}
+}
+
+func TestCanonicalCollapsesNoPoolVariants(t *testing.T) {
+	a := Config{Channels: 5, Batch: 8, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, KernelSizePool: 2, StridePool: 1, InitialOutputFeature: 32, NumClasses: 2}
+	b := a
+	b.KernelSizePool = 3
+	b.StridePool = 2
+	if a.Key() != b.Key() {
+		t.Fatalf("no-pool variants must share a key: %s vs %s", a.Key(), b.Key())
+	}
+	c := a
+	c.PoolChoice = 1
+	if a.Key() == c.Key() {
+		t.Fatal("pool and no-pool configs must differ")
+	}
+}
+
+func TestKeyIsInjectiveOnSearchAxes(t *testing.T) {
+	// Property: distinct canonical configs have distinct keys.
+	f := func(k1, s1, p1, f1, k2, s2, p2, f2 uint8) bool {
+		mk := func(k, s, p, f uint8) Config {
+			return Config{
+				Channels: 5, Batch: 8,
+				KernelSize: int(k%2)*4 + 3, Stride: int(s%2) + 1, Padding: int(p%3) + 1,
+				PoolChoice: 1, KernelSizePool: 2, StridePool: 2,
+				InitialOutputFeature: (int(f%3) + 2) * 16, NumClasses: 2,
+			}
+		}
+		a, b := mk(k1, s1, p1, f1), mk(k2, s2, p2, f2)
+		if a == b {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageWidths(t *testing.T) {
+	cfg := StockResNet18(5, 8)
+	cfg.InitialOutputFeature = 48
+	w := cfg.StageWidths()
+	want := [4]int{48, 96, 192, 384}
+	if w != want {
+		t.Fatalf("stage widths %v, want %v", w, want)
+	}
+}
+
+func TestTrainingStepReducesLoss(t *testing.T) {
+	// A narrow variant must be able to fit a tiny 2-class batch
+	// (overfitting sanity check for the full forward/backward stack).
+	cfg := Config{Channels: 5, Batch: 8, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, InitialOutputFeature: 8, NumClasses: 2}
+	r := tensor.NewRNG(7)
+	m, err := New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandNormal(r, 1, 8, 5, 32, 32)
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	// Make the classes actually separable: add per-class offsets.
+	for i, lab := range labels {
+		off := float32(1.5)
+		if lab == 1 {
+			off = -1.5
+		}
+		plane := x.Data()[i*5*32*32 : i*5*32*32+32*32]
+		for j := range plane {
+			plane[j] += off
+		}
+	}
+	opt := nn.NewSGD(m.Params(), 0.02, 0.9, 0)
+	var first, last float64
+	for step := 0; step < 12; step++ {
+		y := m.Forward(x, true)
+		loss, g := nn.CrossEntropy(y, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		nn.ZeroGrad(m.Params())
+		m.Backward(g)
+		opt.Step()
+	}
+	if !(last < first*0.8) {
+		t.Fatalf("loss did not decrease: first=%.4f last=%.4f", first, last)
+	}
+}
+
+func TestDescribeMentionsKeyComponents(t *testing.T) {
+	m, _ := New(StockResNet18(7, 16), tensor.NewRNG(1))
+	d := m.Describe()
+	for _, want := range []string{"conv1", "maxpool", "layer4", "fc", "parameters"} {
+		if !contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+	noPool := StockResNet18(5, 8)
+	noPool.PoolChoice = 0
+	m2, _ := New(noPool, tensor.NewRNG(1))
+	if !contains(m2.Describe(), "(none)") {
+		t.Error("Describe must note the absent pool")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	cfg := StockResNet18(5, 8)
+	cfg.InitialOutputFeature = 16
+	m1, _ := New(cfg, tensor.NewRNG(42))
+	m2, _ := New(cfg, tensor.NewRNG(42))
+	p1, p2 := m1.Params(), m2.Params()
+	if len(p1) != len(p2) {
+		t.Fatal("param list lengths differ")
+	}
+	for i := range p1 {
+		d1, d2 := p1[i].Data.Data(), p2[i].Data.Data()
+		for j := range d1 {
+			if d1[j] != d2[j] {
+				t.Fatalf("param %s differs at %d", p1[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestEvalForwardIsPure(t *testing.T) {
+	// Two eval-mode forwards of the same input must agree bit-for-bit
+	// (no running-stat mutation in eval mode).
+	cfg := StockResNet18(5, 8)
+	cfg.InitialOutputFeature = 8
+	m, _ := New(cfg, tensor.NewRNG(3))
+	r := tensor.NewRNG(4)
+	x := tensor.RandNormal(r, 1, 2, 5, 64, 64)
+	y1 := m.Forward(x, false)
+	y2 := m.Forward(x, false)
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatal("eval forward not deterministic")
+		}
+	}
+}
+
+func TestParamsCountMatchesLayerSum(t *testing.T) {
+	m, _ := New(StockResNet18(5, 8), tensor.NewRNG(1))
+	if math.Abs(float64(len(m.Params()))-62) > 0 {
+		// 1 stem conv + 1 stem BN(2) + 8 blocks × (2 conv + 2 BN×2 params) +
+		// 3 downsample (conv + BN×2) + fc(2) = 3 + 8*6 + 3*3 + 2 = 62.
+		t.Fatalf("param tensor count = %d, want 62", len(m.Params()))
+	}
+}

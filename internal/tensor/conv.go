@@ -1,0 +1,318 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+
+	"drainnas/internal/parallel"
+)
+
+// ConvOut returns the output spatial size of a convolution/pooling dimension:
+// floor((in + 2*pad - kernel)/stride) + 1, or 0 when the (padded) input is
+// smaller than the kernel (Go's truncating division would otherwise round
+// the negative numerator toward zero and report a phantom output).
+func ConvOut(in, kernel, stride, pad int) int {
+	span := in + 2*pad - kernel
+	if span < 0 {
+		return 0
+	}
+	return span/stride + 1
+}
+
+// Im2Col lowers one (C,H,W) image (given as a flat slice) into a column
+// matrix dst of shape (C*KH*KW, OH*OW), so that convolution becomes a matrix
+// multiply with the (OC, C*KH*KW) weight matrix. Out-of-bounds taps (from
+// padding) contribute zeros.
+func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	cols := oh * ow
+	if len(dst) != c*kh*kw*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), c*kh*kw*cols))
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		plane := src[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				drow := dst[row*cols : (row+1)*cols]
+				row++
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						for ox := 0; ox < ow; ox++ {
+							drow[i] = 0
+							i++
+						}
+						continue
+					}
+					srow := plane[sy*w : (sy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= w {
+							drow[i] = 0
+						} else {
+							drow[i] = srow[sx]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix (the gradient w.r.t. the im2col output)
+// back into an image gradient of shape (C,H,W), accumulating overlapping
+// taps. dst must be pre-zeroed by the caller if a fresh gradient is wanted.
+func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	cols := oh * ow
+	if len(col) != c*kh*kw*cols {
+		panic(fmt.Sprintf("tensor: Col2Im col length %d, want %d", len(col), c*kh*kw*cols))
+	}
+	if len(dst) != c*h*w {
+		panic(fmt.Sprintf("tensor: Col2Im dst length %d, want %d", len(dst), c*h*w))
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		plane := dst[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				crow := col[row*cols : (row+1)*cols]
+				row++
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						i += ow
+						continue
+					}
+					srow := plane[sy*w : (sy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride - pad + kx
+						if sx >= 0 && sx < w {
+							srow[sx] += crow[i]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D computes a batched 2-D convolution.
+//
+//	input:  (N, C, H, W)
+//	weight: (OC, C, KH, KW)
+//	bias:   (OC) or nil
+//	output: (N, OC, OH, OW)
+//
+// The batch dimension is processed in parallel; each worker lowers its
+// sample with Im2Col and multiplies by the shared weight matrix.
+func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	n, c, h, w := dims4("Conv2D input", input)
+	oc, wc, kh, kw := dims4("Conv2D weight", weight)
+	if wc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input C=%d weight C=%d", c, wc))
+	}
+	if bias != nil && (bias.NDim() != 1 || bias.shape[0] != oc) {
+		panic(fmt.Sprintf("tensor: Conv2D bias shape %v, want [%d]", bias.shape, oc))
+	}
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output (%dx%d) for input %dx%d k=%dx%d s=%d p=%d", oh, ow, h, w, kh, kw, stride, pad))
+	}
+	out := New(n, oc, oh, ow)
+	kdim := c * kh * kw
+	cols := oh * ow
+	wmat := weight.Reshape(oc, kdim)
+	// Fast path: a 1×1 kernel needs no patch lowering — the convolution is
+	// a plain channel-mixing matmul over (sub-sampled) pixels. ResNet's
+	// downsample projections hit this path on every block boundary.
+	pointwise := kh == 1 && kw == 1 && pad == 0
+	parallel.Map(n, 0, func(s int) {
+		var colT *Tensor
+		var scratch []float32
+		if pointwise {
+			colT = pointwiseColumns(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, stride)
+		} else {
+			scratch = getScratch(kdim * cols)
+			Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, scratch)
+			colT = FromSlice(scratch, kdim, cols)
+		}
+		res := out.data[s*oc*cols : (s+1)*oc*cols]
+		matmulInto(FromSlice(res, oc, cols), wmat, colT, oc, kdim, cols, false)
+		if scratch != nil {
+			putScratch(scratch)
+		}
+		if bias != nil {
+			for o := 0; o < oc; o++ {
+				b := bias.data[o]
+				dst := res[o*cols : (o+1)*cols]
+				for i := range dst {
+					dst[i] += b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// scratchPool recycles im2col buffers: conv lowering is the training loop's
+// dominant transient allocation, and reuse keeps GC pressure flat across
+// epochs. Buffers are stored by capacity and sliced to the requested size.
+var scratchPool sync.Pool
+
+// getScratch returns a length-n float32 buffer, reusing a pooled one when
+// its capacity suffices. Contents are unspecified; Im2Col overwrites every
+// element it reads through.
+func getScratch(n int) []float32 {
+	if v := scratchPool.Get(); v != nil {
+		buf := v.([]float32)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+// putScratch returns a buffer to the pool.
+func putScratch(buf []float32) {
+	scratchPool.Put(buf[:cap(buf)]) //nolint:staticcheck // slice, not pointer, is fine here
+}
+
+// pointwiseColumns builds the (C, OH*OW) matrix for a 1×1 convolution:
+// with stride 1 it is the image itself (no copy); otherwise the strided
+// pixel subset.
+func pointwiseColumns(src []float32, c, h, w, stride int) *Tensor {
+	if stride == 1 {
+		return FromSlice(src, c, h*w)
+	}
+	oh := ConvOut(h, 1, stride, 0)
+	ow := ConvOut(w, 1, stride, 0)
+	col := make([]float32, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		plane := src[ch*h*w : (ch+1)*h*w]
+		dst := col[ch*oh*ow : (ch+1)*oh*ow]
+		i := 0
+		for y := 0; y < oh; y++ {
+			row := plane[y*stride*w:]
+			for x := 0; x < ow; x++ {
+				dst[i] = row[x*stride]
+				i++
+			}
+		}
+	}
+	return FromSlice(col, c, oh*ow)
+}
+
+// Conv2DBackward computes the gradients of Conv2D.
+//
+// Given gradOut (N, OC, OH, OW) it returns gradIn (N, C, H, W), accumulates
+// weight gradients into gradW (OC, C, KH, KW) and, when gradB is non-nil,
+// bias gradients into gradB (OC). gradW/gradB are accumulated (+=) so a
+// caller can sum gradients over micro-batches.
+func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad int) *Tensor {
+	n, c, h, w := dims4("Conv2DBackward input", input)
+	oc, _, kh, kw := dims4("Conv2DBackward weight", weight)
+	_, goc, oh, ow := dims4("Conv2DBackward gradOut", gradOut)
+	if goc != oc {
+		panic(fmt.Sprintf("tensor: Conv2DBackward OC mismatch %d vs %d", goc, oc))
+	}
+	kdim := c * kh * kw
+	cols := oh * ow
+	gradIn := New(n, c, h, w)
+	wmat := weight.Reshape(oc, kdim)
+	wmatT := Transpose2D(wmat)
+	gwMat := gradW.Reshape(oc, kdim)
+
+	// Per-sample weight-gradient partials are accumulated into worker-local
+	// buffers and reduced serially, keeping the parallel phase lock-free.
+	workers := parallel.DefaultWorkers
+	if workers > n {
+		workers = n
+	}
+	partialW := make([][]float32, workers)
+	partialB := make([][]float32, workers)
+	parallel.ForChunked(n, workers, func(lo, hi int) {
+		// Identify this worker's slot by its range start; ranges are disjoint.
+		slot := workerSlot(lo, n, workers)
+		gw := make([]float32, oc*kdim)
+		var gb []float32
+		if gradB != nil {
+			gb = make([]float32, oc)
+		}
+		col := make([]float32, kdim*cols)
+		gcol := make([]float32, kdim*cols)
+		for s := lo; s < hi; s++ {
+			Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, col)
+			gout := FromSlice(gradOut.data[s*oc*cols:(s+1)*oc*cols], oc, cols)
+			// gradW += gout · colᵀ
+			colMat := FromSlice(col, kdim, cols)
+			colT := Transpose2D(colMat)
+			matmulInto(FromSlice(gw, oc, kdim), gout, colT, oc, cols, kdim, true)
+			// gradCol = Wᵀ · gout, then scatter back to image space.
+			matmulInto(FromSlice(gcol, kdim, cols), wmatT, gout, kdim, oc, cols, false)
+			Col2Im(gcol, c, h, w, kh, kw, stride, pad, gradIn.data[s*c*h*w:(s+1)*c*h*w])
+			if gb != nil {
+				for o := 0; o < oc; o++ {
+					grow := gout.data[o*cols : (o+1)*cols]
+					sum := float32(0)
+					for _, v := range grow {
+						sum += v
+					}
+					gb[o] += sum
+				}
+			}
+		}
+		partialW[slot] = gw
+		partialB[slot] = gb
+	})
+	for _, gw := range partialW {
+		if gw == nil {
+			continue
+		}
+		for i, v := range gw {
+			gwMat.data[i] += v
+		}
+	}
+	if gradB != nil {
+		for _, gb := range partialB {
+			if gb == nil {
+				continue
+			}
+			for i, v := range gb {
+				gradB.data[i] += v
+			}
+		}
+	}
+	return gradIn
+}
+
+// workerSlot recovers the chunk index of the range starting at lo when n
+// items are split across `workers` chunks the way parallel.ForChunked splits
+// them (first n%workers chunks get one extra element).
+func workerSlot(lo, n, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	base := n / workers
+	extra := n % workers
+	bigSpan := (base + 1) * extra
+	if lo < bigSpan {
+		return lo / (base + 1)
+	}
+	return extra + (lo-bigSpan)/base
+}
+
+func dims4(what string, t *Tensor) (a, b, c, d int) {
+	if t.NDim() != 4 {
+		panic(fmt.Sprintf("tensor: %s wants a 4-D tensor, got shape %v", what, t.shape))
+	}
+	return t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"fmt"
+
+	"drainnas/internal/parallel"
+)
+
+// MatMul computes the matrix product of a (m×k) and b (k×n), parallelized
+// over rows of the output. The inner loops are ordered i-k-j so the innermost
+// loop streams both b and out rows sequentially, which is the
+// cache-friendliest layout for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := matmulDims(a, b)
+	out := New(m, n)
+	matmulInto(out, a, b, m, k, n, false)
+	return out
+}
+
+// MatMulAcc computes out += a·b, reusing out's storage (shapes must agree).
+func MatMulAcc(out, a, b *Tensor) {
+	m, k, n := matmulDims(a, b)
+	if out.NDim() != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAcc out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matmulInto(out, a, b, m, k, n, true)
+}
+
+func matmulDims(a, b *Tensor) (m, k, n int) {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	return m, k, b.shape[1]
+}
+
+// matmulInto writes (or accumulates into) out = a·b. Parallelism is over
+// output rows: each worker owns a disjoint row range, so no synchronization
+// is needed on out.
+func matmulInto(out, a, b *Tensor, m, k, n int, acc bool) {
+	ad, bd, od := a.data, b.data, out.data
+	workers := 0
+	// For small matrices the goroutine fan-out dominates; stay serial.
+	if m*k*n < 1<<15 {
+		workers = 1
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := od[i*n : (i+1)*n]
+			if !acc {
+				for j := range orow {
+					orow[j] = 0
+				}
+			}
+			arow := ad[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := bd[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if workers == 1 {
+		body(0, m)
+		return
+	}
+	parallel.ForChunked(m, 0, body)
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D wants a 2-D tensor, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	const block = 32 // blocked transpose for cache locality
+	forEach(m, func(lo, hi int) {
+		for i0 := lo; i0 < hi; i0 += block {
+			iMax := i0 + block
+			if iMax > hi {
+				iMax = hi
+			}
+			for j0 := 0; j0 < n; j0 += block {
+				jMax := j0 + block
+				if jMax > n {
+					jMax = n
+				}
+				for i := i0; i < iMax; i++ {
+					for j := j0; j < jMax; j++ {
+						out.data[j*m+i] = a.data[i*n+j]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec computes a (m×k) times v (k) → (m).
+func MatVec(a, v *Tensor) *Tensor {
+	if a.NDim() != 2 || v.NDim() != 1 || a.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v x %v", a.shape, v.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	forEach(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*k : (i+1)*k]
+			s := float32(0)
+			for j, av := range row {
+				s += av * v.data[j]
+			}
+			out.data[i] = s
+		}
+	})
+	return out
+}

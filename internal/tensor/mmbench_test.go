@@ -1,0 +1,18 @@
+package tensor
+
+import "testing"
+
+func benchMM(b *testing.B, m, k, n int) {
+	r := NewRNG(1)
+	a := RandNormal(r, 1, m, k)
+	bb := RandNormal(r, 1, k, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, bb)
+	}
+	b.SetBytes(int64(m*k*n) * 2 * 4)
+}
+
+func BenchmarkMM256(b *testing.B)  { benchMM(b, 256, 256, 256) }
+func BenchmarkMM512(b *testing.B)  { benchMM(b, 512, 512, 512) }
+func BenchmarkMMWide(b *testing.B) { benchMM(b, 64, 288, 2500) }

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// binaryCheck panics unless a and b share a shape.
+func binaryCheck(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	binaryCheck("Add", a, b)
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] + b.data[i]
+		}
+	})
+	return out
+}
+
+// AddInPlace accumulates b into a and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	binaryCheck("AddInPlace", a, b)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] += b.data[i]
+		}
+	})
+	return a
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	binaryCheck("Sub", a, b)
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] - b.data[i]
+		}
+	})
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	binaryCheck("Mul", a, b)
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * b.data[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * s
+		}
+	})
+	return out
+}
+
+// ScaleInPlace multiplies a by s in place and returns a.
+func ScaleInPlace(a *Tensor, s float32) *Tensor {
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] *= s
+		}
+	})
+	return a
+}
+
+// AxpyInPlace computes a += alpha*b in place (the BLAS axpy) and returns a.
+func AxpyInPlace(a *Tensor, alpha float32, b *Tensor) *Tensor {
+	binaryCheck("AxpyInPlace", a, b)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.data[i] += alpha * b.data[i]
+		}
+	})
+	return a
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Tensor, f func(float32) float32) *Tensor {
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = f(a.data[i])
+		}
+	})
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	forEach(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := a.data[i]; v > 0 {
+				out.data[i] = v
+			}
+		}
+	})
+	return out
+}
+
+// ReLUBackward returns grad masked by (input > 0): the gradient of ReLU.
+func ReLUBackward(grad, input *Tensor) *Tensor {
+	binaryCheck("ReLUBackward", grad, input)
+	out := New(grad.shape...)
+	forEach(len(grad.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if input.data[i] > 0 {
+				out.data[i] = grad.data[i]
+			}
+		}
+	})
+	return out
+}
+
+// Sum returns the sum of all elements as float64 for numeric stability.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRows treats t as a (rows, cols) matrix and returns the column index
+// of the maximum in each row — the predicted class per sample.
+func ArgMaxRows(t *Tensor) []int {
+	if t.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: ArgMaxRows wants a 2-D tensor, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		best := 0
+		for c := 1; c < cols; c++ {
+			if row[c] > row[best] {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// SoftmaxRows treats t as (rows, cols) and returns row-wise softmax,
+// computed with the max-subtraction trick for stability.
+func SoftmaxRows(t *Tensor) *Tensor {
+	if t.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows wants a 2-D tensor, got shape %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(rows, cols)
+	forEach(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := t.data[r*cols : (r+1)*cols]
+			dst := out.data[r*cols : (r+1)*cols]
+			m := row[0]
+			for _, v := range row[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			sum := 0.0
+			for c, v := range row {
+				e := math.Exp(float64(v - m))
+				dst[c] = float32(e)
+				sum += e
+			}
+			inv := float32(1.0 / sum)
+			for c := range dst {
+				dst[c] *= inv
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+
+	"drainnas/internal/parallel"
+)
+
+// MaxPool2D applies max pooling over (N, C, H, W) input and returns the
+// pooled output together with the flat argmax index (into the per-plane H*W
+// space) of each output element, which the backward pass needs.
+func MaxPool2D(input *Tensor, kernel, stride, pad int) (*Tensor, []int32) {
+	n, c, h, w := dims4("MaxPool2D input", input)
+	oh := ConvOut(h, kernel, stride, pad)
+	ow := ConvOut(w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D produces empty output for input %dx%d k=%d s=%d p=%d", h, w, kernel, stride, pad))
+	}
+	out := New(n, c, oh, ow)
+	argmax := make([]int32, n*c*oh*ow)
+	parallel.Map(n*c, 0, func(p int) {
+		plane := input.data[p*h*w : (p+1)*h*w]
+		dst := out.data[p*oh*ow : (p+1)*oh*ow]
+		arg := argmax[p*oh*ow : (p+1)*oh*ow]
+		i := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(0)
+				bestIdx := int32(-1)
+				for ky := 0; ky < kernel; ky++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= w {
+							continue
+						}
+						v := plane[sy*w+sx]
+						if bestIdx < 0 || v > best {
+							best = v
+							bestIdx = int32(sy*w + sx)
+						}
+					}
+				}
+				// A window fully inside padding (possible only with extreme
+				// parameters) contributes zero.
+				if bestIdx < 0 {
+					best = 0
+					bestIdx = 0
+				}
+				dst[i] = best
+				arg[i] = bestIdx
+				i++
+			}
+		}
+	})
+	return out, argmax
+}
+
+// MaxPool2DBackward routes each output gradient to the input position that
+// produced the max, as recorded in argmax by MaxPool2D.
+func MaxPool2DBackward(gradOut *Tensor, argmax []int32, inShape []int) *Tensor {
+	n, c := inShape[0], inShape[1]
+	h, w := inShape[2], inShape[3]
+	_, _, oh, ow := dims4("MaxPool2DBackward gradOut", gradOut)
+	gradIn := New(n, c, h, w)
+	parallel.Map(n*c, 0, func(p int) {
+		gsrc := gradOut.data[p*oh*ow : (p+1)*oh*ow]
+		arg := argmax[p*oh*ow : (p+1)*oh*ow]
+		gdst := gradIn.data[p*h*w : (p+1)*h*w]
+		for i, g := range gsrc {
+			gdst[arg[i]] += g
+		}
+	})
+	return gradIn
+}
+
+// GlobalAvgPool2D averages each (H, W) plane of an (N, C, H, W) tensor,
+// returning (N, C). This is ResNet's terminal adaptive average pooling with
+// output size 1×1.
+func GlobalAvgPool2D(input *Tensor) *Tensor {
+	n, c, h, w := dims4("GlobalAvgPool2D input", input)
+	out := New(n, c)
+	inv := 1.0 / float64(h*w)
+	forEach(n*c, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			plane := input.data[p*h*w : (p+1)*h*w]
+			s := 0.0
+			for _, v := range plane {
+				s += float64(v)
+			}
+			out.data[p] = float32(s * inv)
+		}
+	})
+	return out
+}
+
+// GlobalAvgPool2DBackward spreads each (N, C) gradient uniformly over the
+// corresponding H×W plane.
+func GlobalAvgPool2DBackward(gradOut *Tensor, inShape []int) *Tensor {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	if gradOut.NDim() != 2 || gradOut.shape[0] != n || gradOut.shape[1] != c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2DBackward gradOut shape %v, want [%d %d]", gradOut.shape, n, c))
+	}
+	gradIn := New(n, c, h, w)
+	inv := float32(1.0 / float64(h*w))
+	forEach(n*c, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			g := gradOut.data[p] * inv
+			plane := gradIn.data[p*h*w : (p+1)*h*w]
+			for i := range plane {
+				plane[i] = g
+			}
+		}
+	})
+	return gradIn
+}
+
+// AvgPool2D applies average pooling (count includes padding positions, the
+// count_include_pad=false convention: only valid taps are averaged).
+func AvgPool2D(input *Tensor, kernel, stride, pad int) *Tensor {
+	n, c, h, w := dims4("AvgPool2D input", input)
+	oh := ConvOut(h, kernel, stride, pad)
+	ow := ConvOut(w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: AvgPool2D produces empty output for input %dx%d k=%d s=%d p=%d", h, w, kernel, stride, pad))
+	}
+	out := New(n, c, oh, ow)
+	parallel.Map(n*c, 0, func(p int) {
+		plane := input.data[p*h*w : (p+1)*h*w]
+		dst := out.data[p*oh*ow : (p+1)*oh*ow]
+		i := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := float32(0)
+				cnt := 0
+				for ky := 0; ky < kernel; ky++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= w {
+							continue
+						}
+						sum += plane[sy*w+sx]
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					dst[i] = sum / float32(cnt)
+				}
+				i++
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Numel() != 24 || a.NDim() != 3 || a.Dim(1) != 3 {
+		t.Fatalf("unexpected tensor geometry: %v", a.Shape())
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	s := New()
+	if s.Numel() != 1 || s.NDim() != 0 {
+		t.Fatalf("scalar tensor: numel=%d ndim=%d", s.Numel(), s.NDim())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(3, 4)
+	a.Set(7.5, 2, 1)
+	if a.At(2, 1) != 7.5 {
+		t.Fatal("At/Set round trip failed")
+	}
+	if a.Data()[2*4+1] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape must share backing data")
+	}
+	c := a.Reshape(-1, 2)
+	if c.Dim(0) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", c.Dim(0))
+	}
+}
+
+func TestReshapePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).Data(); got[3] != 44 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 9 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := Mul(a, b).Data(); got[2] != 90 {
+		t.Fatalf("Mul: %v", got)
+	}
+	if got := Scale(a, 2).Data(); got[1] != 4 {
+		t.Fatalf("Scale: %v", got)
+	}
+	AxpyInPlace(a, 0.5, b)
+	if a.Data()[0] != 6 {
+		t.Fatalf("Axpy: %v", a.Data())
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	x := FromSlice([]float32{-1, 0, 2, -3}, 4)
+	y := ReLU(x)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("ReLU: %v", y.Data())
+		}
+	}
+	g := FromSlice([]float32{1, 1, 1, 1}, 4)
+	gx := ReLUBackward(g, x)
+	wantG := []float32{0, 0, 1, 0}
+	for i, v := range gx.Data() {
+		if v != wantG[i] {
+			t.Fatalf("ReLUBackward: %v", gx.Data())
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float32{1, -2, 3, 4}, 2, 2)
+	if a.Sum() != 6 {
+		t.Fatalf("Sum=%v", a.Sum())
+	}
+	if a.Mean() != 1.5 {
+		t.Fatalf("Mean=%v", a.Mean())
+	}
+	if a.Max() != 4 || a.Min() != -2 {
+		t.Fatalf("Max/Min=%v/%v", a.Max(), a.Min())
+	}
+	if math.Abs(a.Norm2()-math.Sqrt(1+4+9+16)) > 1e-9 {
+		t.Fatalf("Norm2=%v", a.Norm2())
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromSlice([]float32{0.1, 0.9, 0.5, 0.2, 3, 3}, 3, 2)
+	got := ArgMaxRows(m)
+	// Ties resolve to the first (lowest index) maximum.
+	want := []int{1, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgMaxRows=%v want %v", got, want)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice([]float32{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	s := SoftmaxRows(m)
+	for r := 0; r < 2; r++ {
+		sum := 0.0
+		for c := 0; c < 3; c++ {
+			v := float64(s.At(r, c))
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d softmax sums to %v", r, sum)
+		}
+	}
+	// The large-value row must be handled stably (uniform 1/3 each).
+	if math.Abs(float64(s.At(1, 0))-1.0/3) > 1e-5 {
+		t.Fatalf("unstable softmax: %v", s.At(1, 0))
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul=%v want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulAccAccumulates(t *testing.T) {
+	a := Ones(2, 2)
+	b := Ones(2, 2)
+	out := Full(5, 2, 2)
+	MatMulAcc(out, a, b)
+	for _, v := range out.Data() {
+		if v != 7 {
+			t.Fatalf("MatMulAcc=%v", out.Data())
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Large enough to trigger the parallel path; compare against a naive
+	// triple loop.
+	r := NewRNG(42)
+	m, k, n := 65, 33, 47
+	a := RandNormal(r, 1, m, k)
+	b := RandNormal(r, 1, k, n)
+	got := MatMul(a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := float32(0)
+			for kk := 0; kk < k; kk++ {
+				want += a.At(i, kk) * b.At(kk, j)
+			}
+			if diff := math.Abs(float64(got.At(i, j) - want)); diff > 1e-3 {
+				t.Fatalf("(%d,%d): got %v want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	r := NewRNG(7)
+	a := RandNormal(r, 1, 37, 53)
+	b := Transpose2D(a)
+	if b.Dim(0) != 53 || b.Dim(1) != 37 {
+		t.Fatalf("transpose shape %v", b.Shape())
+	}
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 53; j++ {
+			if a.At(i, j) != b.At(j, i) {
+				t.Fatal("transpose value mismatch")
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	v := FromSlice([]float32{1, 1}, 2)
+	got := MatVec(a, v)
+	if got.At(0) != 3 || got.At(1) != 7 {
+		t.Fatalf("MatVec=%v", got.Data())
+	}
+}
+
+func TestMatMulPropertyAssociativityWithIdentity(t *testing.T) {
+	// Property: A·I == A for random square A.
+	f := func(seed uint64, szRaw uint8) bool {
+		sz := int(szRaw%20) + 1
+		r := NewRNG(seed)
+		a := RandNormal(r, 1, sz, sz)
+		id := New(sz, sz)
+		for i := 0; i < sz; i++ {
+			id.Set(1, i, i)
+		}
+		c := MatMul(a, id)
+		for i := range c.Data() {
+			if math.Abs(float64(c.Data()[i]-a.Data()[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := New(2, 2)
+	if a.HasNaN() {
+		t.Fatal("zero tensor reported NaN")
+	}
+	a.Set(float32(math.NaN()), 0, 1)
+	if !a.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	b := New(1)
+	b.Set(float32(math.Inf(1)), 0)
+	if !b.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Set(9, 0)
+	if a.At(0) != 1 {
+		t.Fatal("Clone must not share data")
+	}
+}
