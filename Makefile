@@ -1,0 +1,33 @@
+# Tier-1 verification plus the hardening suites added with the serving
+# layer. `make ci` is the full gate; individual targets match its stages.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: ci vet build test race fuzz race-all
+
+ci: vet build test race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with dedicated concurrency suites. `race-all` widens this to
+# every internal package (slower; the numeric packages dominate).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/...
+
+race-all:
+	$(GO) test -race ./internal/...
+
+# Short fuzz smoke runs: the container decoder and the runtime loader must
+# reject arbitrary input without panicking.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/onnxsize
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/onnxsize
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/infer

@@ -2,24 +2,32 @@
 // configuration briefly on the synthetic corpus, export it to the
 // ONNX-like container, reload it with the standalone inference runtime,
 // verify prediction agreement, and time CPU inference next to the
-// per-device latency predictions.
+// per-device latency predictions. With -load N it additionally drives the
+// batching serving layer (internal/serve) with N concurrent requests and
+// reports throughput, latency percentiles and batching efficiency — the
+// serving-side counterpart of the paper's per-device latency tables.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"drainnas/internal/dataset"
 	"drainnas/internal/geodata"
 	"drainnas/internal/infer"
 	"drainnas/internal/latmeter"
+	"drainnas/internal/metrics"
 	"drainnas/internal/nn"
 	"drainnas/internal/onnxsize"
 	"drainnas/internal/resnet"
+	"drainnas/internal/serve"
 	"drainnas/internal/tensor"
 )
 
@@ -35,6 +43,12 @@ func main() {
 		chip     = flag.Int("chip", 32, "chip size")
 		scale    = flag.Int("scale", 150, "corpus scale divisor")
 		out      = flag.String("out", "", "also write the container to this file")
+
+		load         = flag.Int("load", 0, "after deployment checks, drive the serving layer with this many requests (0 = skip)")
+		loadClients  = flag.Int("load-clients", 8, "concurrent clients for the load drive")
+		loadBatch    = flag.Int("load-max-batch", 8, "serving MaxBatch during the load drive")
+		loadDelay    = flag.Duration("load-max-delay", 2*time.Millisecond, "serving MaxDelay during the load drive")
+		loadQueueCap = flag.Int("load-queue", 256, "serving queue capacity during the load drive")
 	)
 	flag.Parse()
 
@@ -142,4 +156,99 @@ func main() {
 		fmt.Printf("  %-14s %8.2f ms\n", d.Name, pred.PerDevice[d.Name])
 	}
 	fmt.Printf("  mean %.2f ms  std %.2f ms\n", pred.MeanMS, pred.StdMS)
+
+	if *load > 0 {
+		driveLoad(buf.Bytes(), cfg, data, loadOptions{
+			requests: *load, clients: *loadClients,
+			maxBatch: *loadBatch, maxDelay: *loadDelay, queueCap: *loadQueueCap,
+		})
+	}
+}
+
+type loadOptions struct {
+	requests, clients int
+	maxBatch          int
+	maxDelay          time.Duration
+	queueCap          int
+}
+
+// driveLoad stands up the batching serving layer over the exported
+// container and fires a concurrent request stream at it, reporting the
+// metrics that matter for deployment sizing: throughput, latency
+// percentiles, achieved batch size and backpressure counts.
+func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts loadOptions) {
+	fmt.Printf("\nload test: %d requests, %d clients (max-batch %d, max-delay %s)\n",
+		opts.requests, opts.clients, opts.maxBatch, opts.maxDelay)
+	stats := &metrics.ServingStats{}
+	srv := serve.NewServer(
+		func(key string) (*infer.Runtime, error) { return infer.Load(bytes.NewReader(container)) },
+		serve.Options{
+			MaxBatch: opts.maxBatch, MaxDelay: opts.maxDelay,
+			QueueCap: opts.queueCap, Stats: stats,
+		})
+	defer srv.Close()
+
+	// Pre-slice single-sample inputs so client goroutines only submit.
+	inputs := make([]*tensor.Tensor, opts.clients)
+	for i := range inputs {
+		x, _ := data.Batch([]int{i % data.Len()})
+		inputs[i] = x
+	}
+
+	latencies := make([]time.Duration, opts.requests)
+	var rejected, failed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				_, err := srv.Submit(context.Background(), cfg.Key(), inputs[c])
+				mu.Lock()
+				switch {
+				case err == nil:
+					latencies[i] = time.Since(t0)
+				case err == serve.ErrQueueFull:
+					rejected++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	for i := 0; i < opts.requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var served []time.Duration
+	for _, l := range latencies {
+		if l > 0 {
+			served = append(served, l)
+		}
+	}
+	sort.Slice(served, func(a, b int) bool { return served[a] < served[b] })
+	pct := func(p float64) time.Duration {
+		if len(served) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(served)-1))
+		return served[i]
+	}
+	snap := stats.Snapshot()
+	fmt.Printf("  served %d/%d in %s (%.1f req/s), rejected %d, failed %d\n",
+		len(served), opts.requests, wall.Round(time.Millisecond),
+		float64(len(served))/wall.Seconds(), rejected, failed)
+	fmt.Printf("  latency p50 %s  p95 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("  batches %d  mean batch %.2f  max queue depth %d\n",
+		snap.Batches, snap.MeanBatch, snap.MaxQueueDepth)
 }

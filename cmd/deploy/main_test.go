@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeployBinarySmoke builds the real binary and runs the full
+// train → export → reload → verify → load-test pipeline at the smallest
+// scale, asserting the output is well-formed at every stage.
+func TestDeployBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "deploy")
+	build := exec.Command("go", "build", "-o", bin, "drainnas/cmd/deploy")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	outFile := filepath.Join(dir, "model.dnnx")
+	cmd := exec.Command(bin,
+		"-epochs", "1", "-scale", "600", "-chip", "32", "-width", "8",
+		"-out", outFile,
+		"-load", "24", "-load-clients", "4")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("deploy run: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"exported container:",
+		"runtime loaded:",
+		"prediction agreement (runtime vs training model):",
+		"host CPU inference",
+		"load test: 24 requests",
+		"served 24/24",
+		"latency p50",
+		"mean batch",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command servd serves exported model containers over HTTP with dynamic
+// micro-batching: the production-shaped front end for the Pareto-front
+// models the NAS pipeline selects. Containers live in a model directory
+// (one .dnnx file per model, written by cmd/deploy -out or any
+// onnxsize.Export caller); requests are admitted into internal/serve's
+// bounded queue, batched per (model, spatial size), and executed on a
+// worker pool through the standalone inference runtime.
+//
+// API:
+//
+//	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...]}
+//	                   -> {"model","class","logits","batch_size",
+//	                       "queued_ms","total_ms"}
+//	GET  /v1/stats     serving counters + model cache counters
+//	GET  /healthz      liveness + available models
+//
+// Backpressure maps to transport codes: a full queue answers 429, a closed
+// server 503, an unknown model 404.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"drainnas/internal/infer"
+	"drainnas/internal/serve"
+	"drainnas/internal/tensor"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models   = flag.String("models", ".", "directory of exported .dnnx model containers")
+		maxBatch = flag.Int("max-batch", 8, "flush a batch at this many requests")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "flush a non-empty batch after this delay")
+		queueCap = flag.Int("queue", 256, "bounded admission queue capacity")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheCap = flag.Int("cache", 4, "resident model cache capacity")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(newDirLoader(*models), serve.Options{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+		QueueCap: *queueCap, Workers: *workers, CacheCap: *cacheCap,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("servd: %v", err)
+	}
+	log.Printf("servd: listening on %s (models from %s)", ln.Addr(), *models)
+	log.Fatal(http.Serve(ln, newAPI(srv, *models)))
+}
+
+// newDirLoader maps model keys to container files under dir. A key is the
+// file's base name with or without the .dnnx extension; path traversal is
+// rejected.
+func newDirLoader(dir string) func(key string) (*infer.Runtime, error) {
+	return func(key string) (*infer.Runtime, error) {
+		if key == "" {
+			return nil, fmt.Errorf("empty model key: %w", fs.ErrNotExist)
+		}
+		if strings.ContainsAny(key, `/\`) || strings.Contains(key, "..") {
+			return nil, fmt.Errorf("model key %q: %w", key, fs.ErrNotExist)
+		}
+		name := key
+		if !strings.HasSuffix(name, ".dnnx") {
+			name += ".dnnx"
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return infer.Load(f)
+	}
+}
+
+// listModels returns the model keys (base names without extension)
+// available in dir.
+func listModels(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dnnx") {
+			keys = append(keys, strings.TrimSuffix(e.Name(), ".dnnx"))
+		}
+	}
+	return keys
+}
+
+type predictRequest struct {
+	Model string    `json:"model"`
+	Shape []int     `json:"shape"` // (C, H, W)
+	Data  []float32 `json:"data"`
+}
+
+type predictResponse struct {
+	Model     string    `json:"model"`
+	Class     int       `json:"class"`
+	Logits    []float32 `json:"logits"`
+	BatchSize int       `json:"batch_size"`
+	QueuedMS  float64   `json:"queued_ms"`
+	TotalMS   float64   `json:"total_ms"`
+}
+
+// maxBodyBytes bounds a predict request body; a 7x512x512 fp32 chip is
+// ~7.3 MB of floats, JSON-encoded ≈5x that, so 64 MB is generous.
+const maxBodyBytes = 64 << 20
+
+// newAPI builds the HTTP handler over a serving core. Split from main so
+// tests drive it in-process.
+func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		input, err := requestTensor(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp, err := srv.Submit(r.Context(), req.Model, input)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, serve.ErrQueueFull):
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, serve.ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, fs.ErrNotExist):
+				status = http.StatusNotFound
+			case errors.Is(err, r.Context().Err()):
+				// Client went away; the status is moot but 503 is honest.
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, predictResponse{
+			Model:     resp.Model,
+			Class:     resp.Class,
+			Logits:    resp.Logits,
+			BatchSize: resp.BatchSize,
+			QueuedMS:  float64(resp.Queued) / float64(time.Millisecond),
+			TotalMS:   float64(resp.Total) / float64(time.Millisecond),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"serving": srv.Stats().Snapshot(),
+			"cache":   srv.Cache().Stats(),
+			"queue":   srv.QueueDepth(),
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"models": listModels(modelDir),
+		})
+	})
+
+	return mux
+}
+
+func requestTensor(req predictRequest) (*tensor.Tensor, error) {
+	if len(req.Shape) != 3 {
+		return nil, fmt.Errorf("shape must be (C,H,W), got %v", req.Shape)
+	}
+	numel := 1
+	for _, d := range req.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("shape %v has non-positive dim", req.Shape)
+		}
+		numel *= d
+		if numel > 1<<26 {
+			return nil, fmt.Errorf("shape %v too large", req.Shape)
+		}
+	}
+	if len(req.Data) != numel {
+		return nil, fmt.Errorf("data has %d values, shape %v implies %d", len(req.Data), req.Shape, numel)
+	}
+	return tensor.FromSlice(req.Data, req.Shape...), nil
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("servd: encoding response: %v", err)
+	}
+}

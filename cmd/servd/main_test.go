@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+
+	"testing"
+	"time"
+
+	"drainnas/internal/onnxsize"
+	"drainnas/internal/resnet"
+	"drainnas/internal/serve"
+	"drainnas/internal/tensor"
+)
+
+// writeTinyModel trains nothing — it just builds and exports a minimal
+// model container named tiny.dnnx into dir, returning its config.
+func writeTinyModel(t *testing.T, dir string) resnet.Config {
+	t.Helper()
+	cfg := resnet.Config{
+		Channels: 3, Batch: 4, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, InitialOutputFeature: 4, NumClasses: 2,
+	}
+	m, err := resnet.New(cfg, tensor.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := onnxsize.Export(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tiny.dnnx"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func predictBody(t *testing.T, cfg resnet.Config, model string) []byte {
+	t.Helper()
+	x := tensor.RandNormal(tensor.NewRNG(5), 1, cfg.Channels, 16, 16)
+	req := predictRequest{Model: model, Shape: []int{cfg.Channels, 16, 16}, Data: x.Data()}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAPIPredictStatsHealth(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(newAPI(srv, dir))
+	defer ts.Close()
+
+	// Well-formed prediction.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader(predictBody(t, cfg, "tiny")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "tiny" || len(pr.Logits) != cfg.NumClasses || pr.Class < 0 || pr.Class >= cfg.NumClasses {
+		t.Fatalf("malformed prediction %+v", pr)
+	}
+	if pr.BatchSize < 1 || pr.TotalMS <= 0 {
+		t.Fatalf("missing serving metadata %+v", pr)
+	}
+
+	// Stats reflect the served request.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Serving struct {
+			Completed uint64 `json:"completed"`
+		} `json:"serving"`
+		Cache struct {
+			Len int `json:"len"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Serving.Completed != 1 || stats.Cache.Len != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	// Health lists the model.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status string   `json:"status"`
+		Models []string `json:"models"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Models) != 1 || health.Models[0] != "tiny" {
+		t.Fatalf("health %+v", health)
+	}
+}
+
+func TestAPIErrorMapping(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(newAPI(srv, dir))
+	defer ts.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := post([]byte("{not json")); got != http.StatusBadRequest {
+		t.Fatalf("bad json -> %d", got)
+	}
+	bad := predictRequest{Model: "tiny", Shape: []int{3, 16}, Data: make([]float32, 48)}
+	b, _ := json.Marshal(bad)
+	if got := post(b); got != http.StatusBadRequest {
+		t.Fatalf("bad shape -> %d", got)
+	}
+	mismatch := predictRequest{Model: "tiny", Shape: []int{3, 16, 16}, Data: make([]float32, 7)}
+	b, _ = json.Marshal(mismatch)
+	if got := post(b); got != http.StatusBadRequest {
+		t.Fatalf("data/shape mismatch -> %d", got)
+	}
+	if got := post(predictBody(t, cfg, "ghost")); got != http.StatusNotFound {
+		t.Fatalf("unknown model -> %d", got)
+	}
+	if got := post(predictBody(t, cfg, "../escape")); got != http.StatusNotFound {
+		t.Fatalf("path traversal -> %d", got)
+	}
+	srv.Close()
+	if got := post(predictBody(t, cfg, "tiny")); got != http.StatusServiceUnavailable {
+		t.Fatalf("closed server -> %d", got)
+	}
+}
+
+// TestServdBinarySmoke is the end-to-end smoke test the issue asks for:
+// build the real binary, point it at a tiny exported model, and assert a
+// well-formed prediction over actual HTTP.
+func TestServdBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	bin := filepath.Join(dir, "servd")
+	build := exec.Command("go", "build", "-o", bin, "drainnas/cmd/servd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-models", dir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The binary logs its bound address; parse it to find the port.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	scanner := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			if m := addrRe.FindStringSubmatch(scanner.Text()); m != nil {
+				found <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case addr = <-found:
+	case <-deadline:
+		t.Fatal("servd never reported its listen address")
+	}
+
+	url := "http://" + addr
+	waitForHealthy(t, url)
+	resp, err := http.Post(url+"/v1/predict", "application/json",
+		bytes.NewReader(predictBody(t, cfg, "tiny")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Logits) != cfg.NumClasses || pr.Class < 0 || pr.Class >= cfg.NumClasses {
+		t.Fatalf("malformed prediction %+v", pr)
+	}
+}
+
+func waitForHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}

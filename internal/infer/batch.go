@@ -1,0 +1,86 @@
+package infer
+
+import (
+	"fmt"
+
+	"drainnas/internal/tensor"
+)
+
+// Prediction is one request's output from RunBatch.
+type Prediction struct {
+	// Logits is the (classes)-length score vector for the sample.
+	Logits []float32
+	// Class is the argmax of Logits.
+	Class int
+}
+
+// RunBatch executes the model over a set of independent single-image
+// inputs, stacking them along the batch dimension so the per-call overhead
+// of conv/matmul dispatch amortizes across the batch. Each input is either
+// (C, H, W) or (1, C, H, W); inputs with the same spatial size are stacked
+// into one forward pass, and inputs with differing sizes are grouped so
+// every group runs as one stacked batch. Results come back in input order.
+//
+// RunBatch is the serving-side entry point: the batcher in internal/serve
+// feeds it whole flush batches. It is safe for concurrent use — Runtime
+// holds no mutable forward state.
+func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	// Group input indices by spatial size, preserving submission order
+	// within each group.
+	type group struct{ idx []int }
+	groups := make(map[[2]int]*group)
+	var order [][2]int
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("infer: batch input %d is nil", i)
+		}
+		var c, h, w int
+		switch in.NDim() {
+		case 3:
+			c, h, w = in.Dim(0), in.Dim(1), in.Dim(2)
+		case 4:
+			if in.Dim(0) != 1 {
+				return nil, fmt.Errorf("infer: batch input %d has batch dim %d, want 1", i, in.Dim(0))
+			}
+			c, h, w = in.Dim(1), in.Dim(2), in.Dim(3)
+		default:
+			return nil, fmt.Errorf("infer: batch input %d must be (C,H,W) or (1,C,H,W), got %v", i, in.Shape())
+		}
+		if c != rt.inC {
+			return nil, fmt.Errorf("infer: batch input %d has %d channels, model wants %d", i, c, rt.inC)
+		}
+		key := [2]int{h, w}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.idx = append(g.idx, i)
+	}
+	out := make([]Prediction, len(inputs))
+	for _, key := range order {
+		g := groups[key]
+		h, w := key[0], key[1]
+		plane := rt.inC * h * w
+		x := tensor.New(len(g.idx), rt.inC, h, w)
+		for bi, i := range g.idx {
+			copy(x.Data()[bi*plane:(bi+1)*plane], inputs[i].Data())
+		}
+		logits, err := rt.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		classes := tensor.ArgMaxRows(logits)
+		nOut := logits.Dim(1)
+		for bi, i := range g.idx {
+			row := make([]float32, nOut)
+			copy(row, logits.Data()[bi*nOut:(bi+1)*nOut])
+			out[i] = Prediction{Logits: row, Class: classes[bi]}
+		}
+	}
+	return out, nil
+}

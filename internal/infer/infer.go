@@ -50,6 +50,11 @@ func FromDecoded(dec *onnxsize.Decoded) (*Runtime, error) {
 	if len(dims) != 4 {
 		return nil, fmt.Errorf("infer: conv1.weight has dims %v", dims)
 	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("infer: conv1.weight has non-positive dims %v", dims)
+		}
+	}
 	rt.inC = dims[1]
 	if len(w) != dims[0]*dims[1]*dims[2]*dims[3] {
 		return nil, fmt.Errorf("infer: conv1.weight payload/dims mismatch")

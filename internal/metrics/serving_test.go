@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServingStatsLifecycle(t *testing.T) {
+	s := &ServingStats{}
+	s.Enqueued()
+	s.Enqueued()
+	s.Enqueued()
+	s.Rejected()
+	s.Canceled()
+	s.Completed(2*time.Millisecond, 5*time.Millisecond)
+	s.Completed(4*time.Millisecond, 15*time.Millisecond)
+	s.BatchDone(2, 3*time.Millisecond)
+
+	snap := s.Snapshot()
+	if snap.Accepted != 3 || snap.Rejected != 1 || snap.Canceled != 1 || snap.Completed != 2 {
+		t.Fatalf("counters wrong: %s", snap)
+	}
+	if snap.QueueDepth != 0 || snap.MaxQueueDepth != 3 {
+		t.Fatalf("depth %d max %d, want 0/3", snap.QueueDepth, snap.MaxQueueDepth)
+	}
+	if snap.Batches != 1 || snap.MeanBatch != 2 || snap.MaxBatch != 2 {
+		t.Fatalf("batch stats wrong: %s", snap)
+	}
+	if snap.MeanLatencyMS != 10 || snap.MaxLatencyMS != 15 || snap.MeanQueueWaitMS != 3 {
+		t.Fatalf("latency stats wrong: %s", snap)
+	}
+	if snap.MeanExecMS != 3 {
+		t.Fatalf("exec ms %v, want 3", snap.MeanExecMS)
+	}
+}
+
+func TestServingStatsNilReceiverIsSafe(t *testing.T) {
+	var s *ServingStats
+	s.Enqueued()
+	s.Rejected()
+	s.Canceled()
+	s.Failed()
+	s.Completed(time.Millisecond, time.Millisecond)
+	s.BatchDone(1, time.Millisecond)
+	if snap := s.Snapshot(); snap.Accepted != 0 {
+		t.Fatalf("nil snapshot %s", snap)
+	}
+}
+
+func TestServingStatsConcurrent(t *testing.T) {
+	s := &ServingStats{}
+	const goroutines = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Enqueued()
+				if i%2 == 0 {
+					s.Completed(time.Microsecond, 2*time.Microsecond)
+				} else {
+					s.Canceled()
+				}
+				s.BatchDone(1, time.Microsecond)
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Accepted != goroutines*per {
+		t.Fatalf("accepted %d, want %d", snap.Accepted, goroutines*per)
+	}
+	if snap.Completed+snap.Canceled != snap.Accepted || snap.QueueDepth != 0 {
+		t.Fatalf("accounting broken: %s", snap)
+	}
+}
+
+func TestServingSnapshotString(t *testing.T) {
+	s := &ServingStats{}
+	s.Enqueued()
+	s.Completed(time.Millisecond, 2*time.Millisecond)
+	if str := s.Snapshot().String(); !strings.Contains(str, "done=1") {
+		t.Fatalf("snapshot string %q", str)
+	}
+}

@@ -8,6 +8,16 @@ import (
 	"math"
 )
 
+// Decoding bounds: a single initializer larger than 2^28 elements (1 GiB of
+// fp32) or an attribute above 2^20 is rejected as corrupt rather than
+// attempted. The bounds are far above anything the exporter produces and
+// exist to keep hostile containers from driving huge allocations or integer
+// overflow.
+const (
+	maxInitializerElems = 1 << 28
+	maxAttrValue        = 1 << 20
+)
+
 // Decoded is a parsed export container.
 type Decoded struct {
 	Graph GraphSpec
@@ -61,6 +71,9 @@ func Decode(r io.Reader) (*Decoded, error) {
 			if err != nil {
 				return nil, fmt.Errorf("onnxsize: node %d attr %s: %w", i, key, err)
 			}
+			if val > maxAttrValue {
+				return nil, fmt.Errorf("onnxsize: node %d attr %s = %d too large", i, key, val)
+			}
 			node.Attrs[key] = int(val)
 		}
 		out.Graph.Nodes = append(out.Graph.Nodes, node)
@@ -84,10 +97,21 @@ func Decode(r io.Reader) (*Decoded, error) {
 		if nDims > 8 {
 			return nil, fmt.Errorf("onnxsize: initializer %s has %d dims", init.Name, nDims)
 		}
+		// Track the element count with an explicit overflow guard: huge or
+		// adversarial dims must fail cleanly instead of wrapping int and
+		// panicking in make().
+		numel := uint64(1)
 		for d := uint64(0); d < nDims; d++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("onnxsize: initializer %s dim %d: %w", init.Name, d, err)
+			}
+			if v > maxInitializerElems {
+				return nil, fmt.Errorf("onnxsize: initializer %s dim %d = %d too large", init.Name, d, v)
+			}
+			numel *= v
+			if numel > maxInitializerElems {
+				return nil, fmt.Errorf("onnxsize: initializer %s implies %d elements", init.Name, numel)
 			}
 			init.Dims = append(init.Dims, int(v))
 		}
@@ -95,15 +119,15 @@ func Decode(r io.Reader) (*Decoded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("onnxsize: initializer %s payload size: %w", init.Name, err)
 		}
-		if int(payload) != init.Numel()*4 {
+		if payload != numel*4 {
 			return nil, fmt.Errorf("onnxsize: initializer %s payload %d bytes, dims imply %d",
-				init.Name, payload, init.Numel()*4)
+				init.Name, payload, numel*4)
 		}
 		raw := make([]byte, payload)
 		if _, err := io.ReadFull(br, raw); err != nil {
 			return nil, fmt.Errorf("onnxsize: initializer %s payload: %w", init.Name, err)
 		}
-		vals := make([]float32, init.Numel())
+		vals := make([]float32, numel)
 		for j := range vals {
 			vals[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:]))
 		}

@@ -1,0 +1,117 @@
+package onnxsize
+
+import (
+	"bytes"
+	"testing"
+
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+// fuzzSeedConfig is deliberately the smallest legal network so the seed
+// container stays a few kilobytes and mutation coverage is dense.
+func fuzzSeedConfig() resnet.Config {
+	return resnet.Config{
+		Channels: 1, Batch: 1, KernelSize: 3, Stride: 2, Padding: 1,
+		PoolChoice: 0, InitialOutputFeature: 2, NumClasses: 2,
+	}
+}
+
+// FuzzDecode feeds arbitrary byte streams to the container decoder. The
+// contract under test: malformed, truncated or hostile input returns an
+// error — it never panics, and whenever Decode accepts input the decoded
+// weights are self-consistent with the declared initializer dims.
+func FuzzDecode(f *testing.F) {
+	g, err := BuildGraphSpec(fuzzSeedConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var structural bytes.Buffer
+	if _, err := Encode(g, &structural); err != nil {
+		f.Fatal(err)
+	}
+	m, err := resnet.New(fuzzSeedConfig(), tensor.NewRNG(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var trained bytes.Buffer
+	if _, err := Export(m, &trained); err != nil {
+		f.Fatal(err)
+	}
+
+	valid := trained.Bytes()
+	f.Add(valid)
+	f.Add(structural.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(magic)+1])
+	flipped := append([]byte{}, valid...)
+	flipped[len(magic)+3] ^= 0xff
+	f.Add(flipped)
+	// Huge-varint initializer dims were the historical overflow panic: a
+	// dim product wrapping past MaxInt made make() blow up.
+	f.Add(append(append([]byte{}, magic...), 0x01, 'g', 0x00, 0x01, 0x01, 'w',
+		0x02, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 0x04))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if dec == nil {
+			t.Fatal("nil Decoded without error")
+		}
+		for _, init := range dec.Graph.Initializers {
+			vals, ok := dec.Weights[init.Name]
+			if !ok {
+				t.Fatalf("initializer %q decoded without weights", init.Name)
+			}
+			if len(vals) != init.Numel() {
+				t.Fatalf("initializer %q: %d values, dims %v imply %d",
+					init.Name, len(vals), init.Dims, init.Numel())
+			}
+		}
+	})
+}
+
+// FuzzDecodeRoundTrip checks the stronger property on accepted input:
+// whatever Decode accepts can be re-encoded and decoded again to the same
+// graph and weights. (Byte-identity is not guaranteed — varints have
+// non-minimal encodings — but semantic identity is.)
+func FuzzDecodeRoundTrip(f *testing.F) {
+	g, err := BuildGraphSpec(fuzzSeedConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(g, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if _, err := encode(dec.Graph, &re, dec.Weights); err != nil {
+			t.Fatalf("re-encode of accepted container failed: %v", err)
+		}
+		dec2, err := Decode(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded container failed: %v", err)
+		}
+		if dec2.Graph.Name != dec.Graph.Name ||
+			len(dec2.Graph.Nodes) != len(dec.Graph.Nodes) ||
+			len(dec2.Graph.Initializers) != len(dec.Graph.Initializers) {
+			t.Fatalf("round trip changed graph structure")
+		}
+		for name, vals := range dec.Weights {
+			got := dec2.Weights[name]
+			if len(got) != len(vals) {
+				t.Fatalf("weights %q: %d values after round trip, want %d", name, len(got), len(vals))
+			}
+		}
+	})
+}

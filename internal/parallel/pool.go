@@ -43,6 +43,23 @@ func (p *Pool) Submit(task func()) {
 	p.tasks <- task
 }
 
+// TrySubmit enqueues a task only if a queue slot is immediately available,
+// returning whether the task was accepted. It never blocks, which lets a
+// caller that must not stall (a batch flusher, a latency-sensitive
+// dispatcher) choose its own overflow policy — run inline, shed load, or
+// retry — instead of inheriting Submit's blocking backpressure. TrySubmit
+// must not be called after Close.
+func (p *Pool) TrySubmit(task func()) bool {
+	p.inFly.Add(1)
+	select {
+	case p.tasks <- task:
+		return true
+	default:
+		p.inFly.Done()
+		return false
+	}
+}
+
 // Wait blocks until every task submitted so far has completed. The pool
 // remains usable afterwards.
 func (p *Pool) Wait() {

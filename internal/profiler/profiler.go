@@ -104,8 +104,15 @@ func (p *Profiler) Summary() []PhaseStats {
 	return out
 }
 
-// WallTime returns the elapsed time since the profiler was created.
-func (p *Profiler) WallTime() time.Duration { return time.Since(p.start) }
+// WallTime returns the elapsed time since the profiler was created (or
+// last Reset). The anchor is read under the lock: Reset may rewrite it
+// concurrently.
+func (p *Profiler) WallTime() time.Duration {
+	p.mu.Lock()
+	start := p.start
+	p.mu.Unlock()
+	return time.Since(start)
+}
 
 // Utilization estimates the parallel efficiency of a run: summed span time
 // divided by (wall time × workers). Values near 1 mean the worker pool

@@ -1,0 +1,79 @@
+package profiler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecordingAndSummary hammers every read and write path of
+// the profiler from parallel goroutines. Run under -race it proves the
+// serving layer can share one Profiler across batch executors.
+func TestConcurrentRecordingAndSummary(t *testing.T) {
+	p := New()
+	const goroutines = 8
+	const per = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			phase := fmt.Sprintf("phase-%d", g%3)
+			for i := 0; i < per; i++ {
+				switch i % 4 {
+				case 0:
+					stop := p.Start(phase)
+					stop()
+				case 1:
+					p.Record(phase, time.Microsecond)
+				case 2:
+					_ = p.Summary()
+					_ = p.Utilization(goroutines)
+				default:
+					_ = p.SpanCount()
+					_ = p.WallTime()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Exactly half of each goroutine's iterations record a span (cases 0
+	// and 1).
+	want := goroutines * per / 2
+	if got := p.SpanCount(); got != want {
+		t.Fatalf("span count %d, want %d", got, want)
+	}
+	stats := p.Summary()
+	total := 0
+	for _, st := range stats {
+		total += st.Count
+	}
+	if total != want {
+		t.Fatalf("summary counts %d, want %d", total, want)
+	}
+}
+
+// TestConcurrentResetIsSafe interleaves Reset with recording; the only
+// invariant is no race and a non-negative span count.
+func TestConcurrentResetIsSafe(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Record("x", time.Microsecond)
+				if i%10 == 0 {
+					p.Reset()
+				}
+				_ = p.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.SpanCount() < 0 {
+		t.Fatal("negative span count")
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"drainnas/internal/infer"
+)
+
+// ModelCache is an LRU cache of loaded inference runtimes keyed by
+// architecture identity (in practice the container file name or the
+// resnet.Config.Key of the exported model). One server instance can then
+// serve several Pareto-front models while bounding resident weight memory —
+// the serving-side analogue of the paper's memory objective.
+//
+// Loads are deduplicated: concurrent Gets for the same key run the loader
+// once and share the result. A failed load is not cached, so a transient
+// error (file not yet written, partial upload) is retried on the next Get.
+type ModelCache struct {
+	mu      sync.Mutex
+	cap     int
+	loader  func(key string) (*infer.Runtime, error)
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	rt   *infer.Runtime
+	err  error
+}
+
+// NewModelCache builds a cache holding at most capacity runtimes
+// (minimum 1).
+func NewModelCache(capacity int, loader func(key string) (*infer.Runtime, error)) *ModelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if loader == nil {
+		panic("serve: NewModelCache requires a loader")
+	}
+	return &ModelCache{
+		cap:     capacity,
+		loader:  loader,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the runtime for key, loading it on first use and refreshing
+// its recency. Eviction drops the least-recently-used entry; an evicted
+// entry still mid-load finishes loading for the goroutines already waiting
+// on it, it just stops being cached.
+func (c *ModelCache) Get(key string) (*infer.Runtime, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		e.once.Do(func() { e.load(c.loader) })
+		return e.rt, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: key}
+	c.entries[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.load(c.loader) })
+	if e.err != nil {
+		// Drop the failed entry so a later Get retries, but only if the
+		// slot still holds this exact entry (it may have been evicted or
+		// replaced meanwhile).
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.ll.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.rt, e.err
+}
+
+func (e *cacheEntry) load(loader func(string) (*infer.Runtime, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.rt, e.err = nil, fmt.Errorf("serve: loading model %q panicked: %v", e.key, r)
+		}
+	}()
+	e.rt, e.err = loader(e.key)
+}
+
+// Len returns the number of cached entries.
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time copy of the cache counters.
+type CacheStats struct {
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns the cache counters.
+func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Len: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,398 @@
+// Package serve is the deployment-side serving substrate: a dynamic
+// micro-batching inference server core over the standalone runtime in
+// internal/infer. It is the step from the paper's single-image
+// edge-deployment story toward the ROADMAP north star of serving heavy
+// request traffic: incoming requests are collected into batches (flushed
+// when a batch fills or a deadline expires), executed by a bounded worker
+// pool through Runtime.RunBatch so conv/matmul overhead amortizes, and
+// admission-controlled by a bounded queue with typed backpressure errors.
+//
+// The pieces:
+//
+//   - Server.Submit enqueues one request and blocks until its response,
+//     a typed rejection (ErrQueueFull, ErrClosed) or context cancellation.
+//   - Requests are grouped by (model, H, W) so each flush stacks into one
+//     forward pass; a per-group timer bounds added latency by MaxDelay.
+//   - A ModelCache (LRU, deduplicated loads) lets one instance serve
+//     several Pareto-front models within a bounded weight-memory budget.
+//   - Counters (queue depth, batch shape, latency) land in
+//     metrics.ServingStats; per-batch phases can be recorded into a
+//     profiler.Profiler.
+//
+// Exactly-once execution: each request is claimed either by the batch
+// executor or by its canceling waiter via an atomic compare-and-swap, so a
+// request is never lost and never runs twice.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drainnas/internal/infer"
+	"drainnas/internal/metrics"
+	"drainnas/internal/parallel"
+	"drainnas/internal/profiler"
+	"drainnas/internal/tensor"
+)
+
+// Typed admission errors, so front ends can map them to transport-level
+// backpressure (HTTP 429 / 503) without string matching.
+var (
+	ErrQueueFull = errors.New("serve: queue full")
+	ErrClosed    = errors.New("serve: server closed")
+)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// MaxBatch flushes a group as soon as it holds this many requests
+	// (default 8).
+	MaxBatch int
+	// MaxDelay flushes a non-empty group this long after its first request
+	// arrived, bounding the latency cost of batching (default 2ms).
+	MaxDelay time.Duration
+	// QueueCap bounds the number of admitted-but-unfinished requests;
+	// Submit returns ErrQueueFull beyond it (default 256).
+	QueueCap int
+	// Workers sizes the execution pool (default parallel.DefaultWorkers).
+	Workers int
+	// CacheCap bounds the number of resident model runtimes (default 4).
+	CacheCap int
+	// Stats receives request/batch counters; a fresh ServingStats is
+	// created when nil.
+	Stats *metrics.ServingStats
+	// Profiler, when non-nil, records per-batch model-load and forward
+	// phases.
+	Profiler *profiler.Profiler
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = parallel.DefaultWorkers
+	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 4
+	}
+	if o.Stats == nil {
+		o.Stats = &metrics.ServingStats{}
+	}
+	return o
+}
+
+// Response is one served request's result.
+type Response struct {
+	// Model is the cache key the request ran under.
+	Model string
+	// Class is the predicted class, Logits the raw scores.
+	Class  int
+	Logits []float32
+	// BatchSize is the number of requests in the executed batch this
+	// request rode in — the amortization the batcher achieved.
+	BatchSize int
+	// Queued is the time spent waiting for the batch to start; Total the
+	// full admission-to-response latency.
+	Queued time.Duration
+	Total  time.Duration
+}
+
+// Request lifecycle states; transitions are CAS-guarded so exactly one
+// party (executor or canceling waiter) claims each request.
+const (
+	stateQueued int32 = iota
+	stateCanceled
+	stateClaimed
+)
+
+type pending struct {
+	input    *tensor.Tensor
+	state    atomic.Int32
+	enqueued time.Time
+	done     chan result // buffered: executor never blocks on delivery
+}
+
+type result struct {
+	resp Response
+	err  error
+}
+
+// groupKey identifies one batchable stream: same model, same spatial size.
+type groupKey struct {
+	model string
+	h, w  int
+}
+
+type batchGroup struct {
+	reqs []*pending
+	// gen increments on every flush so a stale MaxDelay timer (one whose
+	// batch was already size-flushed) becomes a no-op.
+	gen      uint64
+	timerSet bool
+}
+
+// Server is the batching inference server. Construct with NewServer,
+// release with Close.
+type Server struct {
+	opts  Options
+	cache *ModelCache
+	pool  *parallel.Pool
+
+	mu     sync.Mutex
+	groups map[groupKey]*batchGroup
+	depth  int // admitted-but-unfinished requests
+	closed bool
+
+	// dispatchers tracks flushes between taking a batch and handing it to
+	// the pool, so Close can drain them before closing the pool.
+	dispatchers sync.WaitGroup
+}
+
+// NewServer builds a server whose models come from loader (keyed by the
+// Request model string; the empty key is legal if the loader accepts it).
+func NewServer(loader func(key string) (*infer.Runtime, error), opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:   opts,
+		cache:  NewModelCache(opts.CacheCap, loader),
+		pool:   parallel.NewPool(opts.Workers),
+		groups: make(map[groupKey]*batchGroup),
+	}
+}
+
+// Stats returns the server's counter sink.
+func (s *Server) Stats() *metrics.ServingStats { return s.opts.Stats }
+
+// Cache returns the model cache (for stats endpoints).
+func (s *Server) Cache() *ModelCache { return s.cache }
+
+// Submit enqueues one single-image request — input is (C, H, W) or
+// (1, C, H, W) — and blocks until it is served, rejected or canceled.
+// Requests for the same model and spatial size are batched together.
+func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor) (Response, error) {
+	if input == nil {
+		return Response{}, fmt.Errorf("serve: nil input")
+	}
+	var h, w int
+	switch input.NDim() {
+	case 3:
+		h, w = input.Dim(1), input.Dim(2)
+	case 4:
+		if input.Dim(0) != 1 {
+			return Response{}, fmt.Errorf("serve: input batch dim %d, want 1", input.Dim(0))
+		}
+		h, w = input.Dim(2), input.Dim(3)
+	default:
+		return Response{}, fmt.Errorf("serve: input must be (C,H,W) or (1,C,H,W), got %v", input.Shape())
+	}
+	key := groupKey{model: model, h: h, w: w}
+	p := &pending{
+		input:    input,
+		enqueued: time.Now(),
+		done:     make(chan result, 1),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	if s.depth >= s.opts.QueueCap {
+		s.mu.Unlock()
+		s.opts.Stats.Rejected()
+		return Response{}, ErrQueueFull
+	}
+	s.depth++
+	s.opts.Stats.Enqueued()
+	g := s.groups[key]
+	if g == nil {
+		g = &batchGroup{}
+		s.groups[key] = g
+	}
+	g.reqs = append(g.reqs, p)
+	var cut []*pending
+	if len(g.reqs) >= s.opts.MaxBatch {
+		cut = s.takeLocked(g)
+		s.dispatchers.Add(1)
+	} else if !g.timerSet {
+		g.timerSet = true
+		gen := g.gen
+		time.AfterFunc(s.opts.MaxDelay, func() { s.flushTimer(key, gen) })
+	}
+	s.mu.Unlock()
+
+	if cut != nil {
+		s.dispatch(key, cut)
+	}
+
+	select {
+	case r := <-p.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		if p.state.CompareAndSwap(stateQueued, stateCanceled) {
+			// We won the claim: the executor will skip this request.
+			s.opts.Stats.Canceled()
+			s.mu.Lock()
+			s.depth--
+			s.mu.Unlock()
+		}
+		return Response{}, ctx.Err()
+	}
+}
+
+// takeLocked cuts the group's current batch; the caller holds s.mu.
+func (s *Server) takeLocked(g *batchGroup) []*pending {
+	batch := g.reqs
+	g.reqs = nil
+	g.gen++
+	g.timerSet = false
+	return batch
+}
+
+// flushTimer is the MaxDelay deadline for a group generation.
+func (s *Server) flushTimer(key groupKey, gen uint64) {
+	s.mu.Lock()
+	g := s.groups[key]
+	if g == nil || g.gen != gen || len(g.reqs) == 0 {
+		// Already flushed (by size, a newer timer, or Close).
+		s.mu.Unlock()
+		return
+	}
+	batch := s.takeLocked(g)
+	s.dispatchers.Add(1)
+	s.mu.Unlock()
+	s.dispatch(key, batch)
+}
+
+// dispatch hands a cut batch to the worker pool, executing inline when the
+// pool's queue is saturated — the flushing goroutine then becomes the
+// worker, which is exactly the backpressure we want instead of unbounded
+// goroutine growth.
+func (s *Server) dispatch(key groupKey, batch []*pending) {
+	defer s.dispatchers.Done()
+	task := func() { s.execute(key, batch) }
+	if !s.pool.TrySubmit(task) {
+		task()
+	}
+}
+
+// execute claims the batch's live requests, runs them as one stacked
+// forward pass, and delivers per-request results.
+func (s *Server) execute(key groupKey, batch []*pending) {
+	claimed := batch[:0:0]
+	for _, p := range batch {
+		if p.state.CompareAndSwap(stateQueued, stateClaimed) {
+			claimed = append(claimed, p)
+		}
+	}
+	if len(claimed) == 0 {
+		return
+	}
+
+	var stopLoad func()
+	if s.opts.Profiler != nil {
+		stopLoad = s.opts.Profiler.Start("serve/load")
+	}
+	rt, err := s.cache.Get(key.model)
+	if stopLoad != nil {
+		stopLoad()
+	}
+	if err != nil {
+		s.fail(claimed, fmt.Errorf("serve: model %q: %w", key.model, err))
+		return
+	}
+
+	inputs := make([]*tensor.Tensor, len(claimed))
+	for i, p := range claimed {
+		inputs[i] = p.input
+	}
+	var stopFwd func()
+	if s.opts.Profiler != nil {
+		stopFwd = s.opts.Profiler.Start("serve/forward")
+	}
+	start := time.Now()
+	preds, err := rt.RunBatch(inputs)
+	exec := time.Since(start)
+	if stopFwd != nil {
+		stopFwd()
+	}
+	if err != nil {
+		s.fail(claimed, err)
+		return
+	}
+	s.opts.Stats.BatchDone(len(claimed), exec)
+
+	s.mu.Lock()
+	s.depth -= len(claimed)
+	s.mu.Unlock()
+	for i, p := range claimed {
+		resp := Response{
+			Model:     key.model,
+			Class:     preds[i].Class,
+			Logits:    preds[i].Logits,
+			BatchSize: len(claimed),
+			Queued:    start.Sub(p.enqueued),
+			Total:     time.Since(p.enqueued),
+		}
+		s.opts.Stats.Completed(resp.Queued, resp.Total)
+		p.done <- result{resp: resp}
+	}
+}
+
+func (s *Server) fail(claimed []*pending, err error) {
+	s.mu.Lock()
+	s.depth -= len(claimed)
+	s.mu.Unlock()
+	for _, p := range claimed {
+		s.opts.Stats.Failed()
+		p.done <- result{err: err}
+	}
+}
+
+// QueueDepth returns the number of admitted-but-unfinished requests.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// Close flushes every pending batch, waits for in-flight work, and shuts
+// the worker pool down. Requests admitted before Close still complete;
+// Submit afterwards returns ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dispatchers.Wait()
+		s.pool.Close()
+		return
+	}
+	s.closed = true
+	type cutBatch struct {
+		key   groupKey
+		batch []*pending
+	}
+	var cuts []cutBatch
+	for key, g := range s.groups {
+		if len(g.reqs) > 0 {
+			cuts = append(cuts, cutBatch{key, s.takeLocked(g)})
+			s.dispatchers.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cuts {
+		s.dispatch(c.key, c.batch)
+	}
+	s.dispatchers.Wait()
+	s.pool.Close()
+}
