@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all
+.PHONY: ci vet build test race fuzz race-all bench-kernels bench-smoke
 
-ci: vet build test race fuzz
+ci: vet build test race fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/...
+	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -31,3 +31,24 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/onnxsize
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/onnxsize
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/infer
+
+# Kernel benchmark selections: the GEMM shapes, the conv/training ablations,
+# and the batch-1 fused-inference path.
+KBENCH_TENSOR = ^(BenchmarkMM256|BenchmarkMM512|BenchmarkMMWide|BenchmarkGEMMKernelOnly)$$
+KBENCH_ROOT   = ^(BenchmarkAblation_ConvParallelism|BenchmarkTrainingStep|BenchmarkAblation_BNFolding)$$
+
+# Appends one run record (ns/op + GFLOP/s per shape, plus machine/kernel
+# metadata) to the checked-in BENCH_kernels.json trajectory.
+bench-kernels:
+	{ $(GO) test -run='^$$' -bench '$(KBENCH_TENSOR)' ./internal/tensor && \
+	  $(GO) test -run='^$$' -bench '$(KBENCH_ROOT)' . ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_kernels.json
+
+# CI stage: build the benchmarks and run each selected kernel benchmark once
+# (-benchtime=1x), through the same JSON harness, without touching the
+# checked-in trajectory.
+bench-smoke:
+	{ $(GO) test -run='^$$' -bench '$(KBENCH_TENSOR)' -benchtime=1x ./internal/tensor && \
+	  $(GO) test -run='^$$' -bench '$(KBENCH_ROOT)' -benchtime=1x . ; } \
+	  | $(GO) run ./cmd/benchjson -out .bench_smoke.json -note ci-smoke
+	rm -f .bench_smoke.json

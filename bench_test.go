@@ -291,16 +291,20 @@ func BenchmarkAblation_ConvParallelism(b *testing.B) {
 	rng := tensor.NewRNG(1)
 	in := tensor.RandNormal(rng, 1, 16, 32, 32, 32)
 	w := tensor.RandNormal(rng, 0.1, 64, 32, 3, 3)
+	// Per conv: 2*C*KH*KW flops for each of N*OC*OH*OW outputs.
+	convGF := func(n int) float64 { return 2 * float64(n) * 64 * 32 * 32 * 32 * 3 * 3 / 1e9 }
 	b.Run("batch16", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tensor.Conv2D(in, w, nil, 1, 1)
 		}
+		b.ReportMetric(convGF(16)*float64(b.N)/b.Elapsed().Seconds(), "gflops")
 	})
 	single := tensor.RandNormal(rng, 1, 1, 32, 32, 32)
 	b.Run("batch1", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tensor.Conv2D(single, w, nil, 1, 1)
 		}
+		b.ReportMetric(convGF(1)*float64(b.N)/b.Elapsed().Seconds(), "gflops")
 	})
 }
 

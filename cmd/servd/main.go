@@ -11,7 +11,7 @@
 //	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...]}
 //	                   -> {"model","class","logits","batch_size",
 //	                       "queued_ms","total_ms"}
-//	GET  /v1/stats     serving counters + model cache counters
+//	GET  /v1/stats     serving counters + model cache + GEMM kernel counters
 //	GET  /healthz      liveness + available models
 //
 // Backpressure maps to transport codes: a full queue answers 429, a closed
@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"drainnas/internal/infer"
+	"drainnas/internal/metrics"
 	"drainnas/internal/serve"
 	"drainnas/internal/tensor"
 )
@@ -172,6 +173,8 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			"serving": srv.Stats().Snapshot(),
 			"cache":   srv.Cache().Stats(),
 			"queue":   srv.QueueDepth(),
+			"kernel":  metrics.Kernel.Snapshot(),
+			"gemm":    tensor.GemmKernelName(),
 		})
 	})
 

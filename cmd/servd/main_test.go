@@ -95,12 +95,26 @@ func TestAPIPredictStatsHealth(t *testing.T) {
 		Cache struct {
 			Len int `json:"len"`
 		} `json:"cache"`
+		Kernel struct {
+			GemmCalls  uint64 `json:"gemm_calls"`
+			NaiveCalls uint64 `json:"naive_calls"`
+		} `json:"kernel"`
+		Gemm string `json:"gemm"`
 	}
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Serving.Completed != 1 || stats.Cache.Len != 1 {
 		t.Fatalf("stats %+v", stats)
+	}
+	// The served forward pass must have gone through the GEMM dispatcher
+	// (either path counts, depending on the model's layer sizes), and the
+	// active kernel name must be reported.
+	if stats.Kernel.GemmCalls+stats.Kernel.NaiveCalls == 0 {
+		t.Fatalf("kernel counters did not move: %+v", stats.Kernel)
+	}
+	if stats.Gemm == "" {
+		t.Fatal("missing gemm kernel name")
 	}
 
 	// Health lists the model.

@@ -1,10 +1,14 @@
-package metrics
+// External test package: these tests drive random data through
+// tensor.NewRNG, and tensor itself reports into metrics (kernel counters),
+// so an in-package test would be an import cycle.
+package metrics_test
 
 import (
 	"math"
 	"testing"
 	"testing/quick"
 
+	. "drainnas/internal/metrics"
 	"drainnas/internal/tensor"
 )
 

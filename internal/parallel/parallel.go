@@ -13,6 +13,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultWorkers is the degree of parallelism used when a caller passes a
@@ -85,6 +86,65 @@ func ForChunked(n, workers int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(lo, hi)
 		lo = hi
+	}
+	wg.Wait()
+}
+
+// SplitRange returns the half-open sub-range [lo, hi) that chunk i of
+// `chunks` owns when [0, n) is divided the way ForChunked divides it: the
+// first (n % chunks) chunks get one extra element, so sizes differ by at
+// most one. It lets a caller address ForChunked-compatible chunks directly
+// by index, e.g. when chunk identity selects a scratch buffer.
+func SplitRange(n, chunks, i int) (lo, hi int) {
+	if chunks < 1 {
+		chunks = 1
+	}
+	base := n / chunks
+	extra := n % chunks
+	if i < extra {
+		lo = i * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = extra*(base+1) + (i-extra)*base
+	return lo, lo + base
+}
+
+// ForTiles2D executes body(i, j) for every cell of an m×n grid using up to
+// `workers` goroutines (DefaultWorkers if workers <= 0). Cells are handed
+// out dynamically through a shared atomic cursor, so workers that finish
+// cheap tiles immediately steal the next one — the right scheduling for
+// GEMM output tiles, whose cost varies with edge effects, and for
+// (sample × row-chunk) convolution grids where the two axes multiply into
+// more parallelism than either axis offers alone. For workers == 1 (or a
+// single cell) the grid runs inline with no goroutines.
+func ForTiles2D(m, n, workers int, body func(i, j int)) {
+	total := m * n
+	if total <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, total)
+	if workers == 1 {
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				body(i, j)
+			}
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := cursor.Add(1) - 1
+				if t >= int64(total) {
+					return
+				}
+				body(int(t)/n, int(t)%n)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitRangeMatchesForChunked(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 7, 16, 100, 101} {
+		for _, chunks := range []int{1, 2, 3, 7, 16} {
+			// Indexed ranges must tile [0, n) exactly, in order.
+			want := 0
+			for i := 0; i < chunks; i++ {
+				lo, hi := SplitRange(n, chunks, i)
+				if lo != want {
+					t.Fatalf("n=%d chunks=%d i=%d: lo=%d want %d", n, chunks, i, lo, want)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d chunks=%d i=%d: hi %d < lo %d", n, chunks, i, hi, lo)
+				}
+				want = hi
+			}
+			if want != n {
+				t.Fatalf("n=%d chunks=%d: ranges cover %d", n, chunks, want)
+			}
+			// Against ForChunked's actual split.
+			type rng struct{ lo, hi int }
+			var mu sync.Mutex
+			seen := map[int]rng{}
+			ForChunked(n, chunks, func(lo, hi int) {
+				mu.Lock()
+				seen[lo] = rng{lo, hi}
+				mu.Unlock()
+			})
+			for lo, r := range seen {
+				i := workerIndexOf(n, chunks, lo)
+				slo, shi := SplitRange(n, chunks, i)
+				if slo != r.lo || shi != r.hi {
+					t.Fatalf("n=%d chunks=%d: SplitRange(%d)=[%d,%d) vs ForChunked [%d,%d)", n, chunks, i, slo, shi, r.lo, r.hi)
+				}
+			}
+		}
+	}
+}
+
+// workerIndexOf inverts a ForChunked range start to its chunk index the
+// same way SplitRange numbers chunks.
+func workerIndexOf(n, chunks, lo int) int {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	base := n / chunks
+	extra := n % chunks
+	bigSpan := (base + 1) * extra
+	if lo < bigSpan {
+		return lo / (base + 1)
+	}
+	return extra + (lo-bigSpan)/base
+}
+
+func TestForTiles2DCoversGridOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, dims := range [][2]int{{1, 1}, {3, 5}, {7, 1}, {1, 9}, {16, 16}} {
+			m, n := dims[0], dims[1]
+			var mu sync.Mutex
+			counts := make([]int, m*n)
+			ForTiles2D(m, n, workers, func(i, j int) {
+				if i < 0 || i >= m || j < 0 || j >= n {
+					t.Errorf("cell (%d,%d) outside %dx%d", i, j, m, n)
+					return
+				}
+				mu.Lock()
+				counts[i*n+j]++
+				mu.Unlock()
+			})
+			for idx, c := range counts {
+				if c != 1 {
+					t.Fatalf("m=%d n=%d workers=%d: cell %d ran %d times", m, n, workers, idx, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForTiles2DEmpty(t *testing.T) {
+	called := false
+	ForTiles2D(0, 5, 4, func(i, j int) { called = true })
+	ForTiles2D(5, 0, 4, func(i, j int) { called = true })
+	if called {
+		t.Fatal("body ran on empty grid")
+	}
+}

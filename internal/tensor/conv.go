@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"sync"
 
 	"drainnas/internal/parallel"
 )
@@ -24,11 +23,23 @@ func ConvOut(in, kernel, stride, pad int) int {
 // multiply with the (OC, C*KH*KW) weight matrix. Out-of-bounds taps (from
 // padding) contribute zeros.
 func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	Im2ColRows(src, c, h, w, kh, kw, stride, pad, 0, ConvOut(h, kh, stride, pad), dst)
+}
+
+// Im2ColRows lowers only the output rows [oyLo, oyHi) of the image: dst has
+// shape (C*KH*KW, (oyHi-oyLo)*OW), the column window of the full Im2Col
+// matrix for those rows. It is the unit of intra-sample parallelism — each
+// convolution worker lowers and multiplies its own horizontal band, so a
+// batch-1 forward pass still spreads over every core.
+func Im2ColRows(src []float32, c, h, w, kh, kw, stride, pad, oyLo, oyHi int, dst []float32) {
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
-	cols := oh * ow
+	if oyLo < 0 || oyHi > oh || oyLo > oyHi {
+		panic(fmt.Sprintf("tensor: Im2ColRows row range [%d,%d) outside [0,%d)", oyLo, oyHi, oh))
+	}
+	cols := (oyHi - oyLo) * ow
 	if len(dst) != c*kh*kw*cols {
-		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), c*kh*kw*cols))
+		panic(fmt.Sprintf("tensor: Im2ColRows dst length %d, want %d", len(dst), c*kh*kw*cols))
 	}
 	row := 0
 	for ch := 0; ch < c; ch++ {
@@ -38,7 +49,7 @@ func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 				drow := dst[row*cols : (row+1)*cols]
 				row++
 				i := 0
-				for oy := 0; oy < oh; oy++ {
+				for oy := oyLo; oy < oyHi; oy++ {
 					sy := oy*stride - pad + ky
 					if sy < 0 || sy >= h {
 						for ox := 0; ox < ow; ox++ {
@@ -111,8 +122,12 @@ func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 //	bias:   (OC) or nil
 //	output: (N, OC, OH, OW)
 //
-// The batch dimension is processed in parallel; each worker lowers its
-// sample with Im2Col and multiplies by the shared weight matrix.
+// The work grid is (sample × output-row chunk): with a full batch each
+// sample is one chunk (the pre-existing batch parallelism), and when the
+// batch is smaller than the core count — the batch-1 serving case — each
+// sample's output rows are split so every core still contributes. All
+// chunks share one lazily packed copy of the weight matrix (weightPack), so
+// the GEMM A-panels are built once per call, not once per sample.
 func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	n, c, h, w := dims4("Conv2D input", input)
 	oc, wc, kh, kw := dims4("Conv2D weight", weight)
@@ -131,84 +146,104 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	kdim := c * kh * kw
 	cols := oh * ow
 	wmat := weight.Reshape(oc, kdim)
+	wp := newWeightPack(wmat.data, kdim, oc, kdim)
 	// Fast path: a 1×1 kernel needs no patch lowering — the convolution is
 	// a plain channel-mixing matmul over (sub-sampled) pixels. ResNet's
 	// downsample projections hit this path on every block boundary.
 	pointwise := kh == 1 && kw == 1 && pad == 0
-	parallel.Map(n, 0, func(s int) {
-		var colT *Tensor
-		var scratch []float32
-		if pointwise {
-			colT = pointwiseColumns(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, stride)
-		} else {
-			scratch = getScratch(kdim * cols)
-			Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, scratch)
-			colT = FromSlice(scratch, kdim, cols)
+	chunks := 1
+	if workers := parallel.DefaultWorkers; n < workers {
+		chunks = (workers + n - 1) / n
+		if chunks > oh {
+			chunks = oh
+		}
+	}
+	parallel.ForTiles2D(n, chunks, 0, func(s, ci int) {
+		oyLo, oyHi := parallel.SplitRange(oh, chunks, ci)
+		if oyLo == oyHi {
+			return
+		}
+		colLo := oyLo * ow
+		chunkCols := (oyHi - oyLo) * ow
+		sample := input.data[s*c*h*w : (s+1)*c*h*w]
+		var bsrc, scratch []float32
+		ldb := chunkCols
+		switch {
+		case pointwise && stride == 1:
+			// The column matrix is the image itself; the chunk is a column
+			// window of it, addressed in place via the leading dimension.
+			bsrc = sample[colLo:]
+			ldb = h * w
+		case pointwise:
+			scratch = getScratch(c * chunkCols)
+			pointwiseColumns(sample, c, h, w, stride, oyLo, oyHi, scratch)
+			bsrc = scratch
+		default:
+			scratch = getScratch(kdim * chunkCols)
+			Im2ColRows(sample, c, h, w, kh, kw, stride, pad, oyLo, oyHi, scratch)
+			bsrc = scratch
 		}
 		res := out.data[s*oc*cols : (s+1)*oc*cols]
-		matmulInto(FromSlice(res, oc, cols), wmat, colT, oc, kdim, cols, false)
+		wp.mulInto(res[colLo:], cols, bsrc, ldb, chunkCols, false)
 		if scratch != nil {
 			putScratch(scratch)
 		}
 		if bias != nil {
 			for o := 0; o < oc; o++ {
-				b := bias.data[o]
-				dst := res[o*cols : (o+1)*cols]
+				bv := bias.data[o]
+				dst := res[o*cols+colLo : o*cols+colLo+chunkCols]
 				for i := range dst {
-					dst[i] += b
+					dst[i] += bv
 				}
 			}
 		}
 	})
+	wp.release()
 	return out
 }
 
-// scratchPool recycles im2col buffers: conv lowering is the training loop's
-// dominant transient allocation, and reuse keeps GC pressure flat across
-// epochs. Buffers are stored by capacity and sliced to the requested size.
-var scratchPool sync.Pool
-
-// getScratch returns a length-n float32 buffer, reusing a pooled one when
-// its capacity suffices. Contents are unspecified; Im2Col overwrites every
-// element it reads through.
-func getScratch(n int) []float32 {
-	if v := scratchPool.Get(); v != nil {
-		buf := v.([]float32)
-		if cap(buf) >= n {
-			return buf[:n]
-		}
-	}
-	return make([]float32, n)
-}
-
-// putScratch returns a buffer to the pool.
-func putScratch(buf []float32) {
-	scratchPool.Put(buf[:cap(buf)]) //nolint:staticcheck // slice, not pointer, is fine here
-}
-
-// pointwiseColumns builds the (C, OH*OW) matrix for a 1×1 convolution:
-// with stride 1 it is the image itself (no copy); otherwise the strided
-// pixel subset.
-func pointwiseColumns(src []float32, c, h, w, stride int) *Tensor {
-	if stride == 1 {
-		return FromSlice(src, c, h*w)
-	}
-	oh := ConvOut(h, 1, stride, 0)
+// pointwiseColumns builds the column window for output rows [oyLo, oyHi) of
+// a strided 1×1 convolution into dst (shape C × (oyHi-oyLo)*OW): the
+// strided pixel subset of each channel plane. (The stride-1 case never gets
+// here — the image itself serves as the column matrix.)
+func pointwiseColumns(src []float32, c, h, w, stride, oyLo, oyHi int, dst []float32) {
 	ow := ConvOut(w, 1, stride, 0)
-	col := make([]float32, c*oh*ow)
+	chunkCols := (oyHi - oyLo) * ow
 	for ch := 0; ch < c; ch++ {
 		plane := src[ch*h*w : (ch+1)*h*w]
-		dst := col[ch*oh*ow : (ch+1)*oh*ow]
+		drow := dst[ch*chunkCols : (ch+1)*chunkCols]
 		i := 0
-		for y := 0; y < oh; y++ {
+		for y := oyLo; y < oyHi; y++ {
 			row := plane[y*stride*w:]
 			for x := 0; x < ow; x++ {
-				dst[i] = row[x*stride]
+				drow[i] = row[x*stride]
 				i++
 			}
 		}
 	}
-	return FromSlice(col, c, oh*ow)
+}
+
+// transposeInto writes srcᵀ (n×m) of the m×n matrix src into dst, blocked
+// for cache locality. Serial: it runs inside per-sample workers.
+func transposeInto(src []float32, m, n int, dst []float32) {
+	const block = 32
+	for i0 := 0; i0 < m; i0 += block {
+		iMax := i0 + block
+		if iMax > m {
+			iMax = m
+		}
+		for j0 := 0; j0 < n; j0 += block {
+			jMax := j0 + block
+			if jMax > n {
+				jMax = n
+			}
+			for i := i0; i < iMax; i++ {
+				for j := j0; j < jMax; j++ {
+					dst[j*m+i] = src[i*n+j]
+				}
+			}
+		}
+	}
 }
 
 // Conv2DBackward computes the gradients of Conv2D.
@@ -217,6 +252,10 @@ func pointwiseColumns(src []float32, c, h, w, stride int) *Tensor {
 // weight gradients into gradW (OC, C, KH, KW) and, when gradB is non-nil,
 // bias gradients into gradB (OC). gradW/gradB are accumulated (+=) so a
 // caller can sum gradients over micro-batches.
+//
+// Every per-worker transient — the im2col buffer, its transpose, the
+// column-gradient buffer and the weight/bias gradient partials — comes from
+// the scratch pool, so a training step allocates nothing here after warmup.
 func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad int) *Tensor {
 	n, c, h, w := dims4("Conv2DBackward input", input)
 	oc, _, kh, kw := dims4("Conv2DBackward weight", weight)
@@ -229,6 +268,8 @@ func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad in
 	gradIn := New(n, c, h, w)
 	wmat := weight.Reshape(oc, kdim)
 	wmatT := Transpose2D(wmat)
+	// Wᵀ is shared by every sample's gradCol multiply; pack it once.
+	wtp := newWeightPack(wmatT.data, oc, kdim, oc)
 	gwMat := gradW.Reshape(oc, kdim)
 
 	// Per-sample weight-gradient partials are accumulated into worker-local
@@ -242,26 +283,32 @@ func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad in
 	parallel.ForChunked(n, workers, func(lo, hi int) {
 		// Identify this worker's slot by its range start; ranges are disjoint.
 		slot := workerSlot(lo, n, workers)
-		gw := make([]float32, oc*kdim)
+		gw := getScratch(oc * kdim)
+		for i := range gw {
+			gw[i] = 0
+		}
 		var gb []float32
 		if gradB != nil {
-			gb = make([]float32, oc)
+			gb = getScratch(oc)
+			for i := range gb {
+				gb[i] = 0
+			}
 		}
-		col := make([]float32, kdim*cols)
-		gcol := make([]float32, kdim*cols)
+		col := getScratch(kdim * cols)
+		colT := getScratch(kdim * cols)
+		gcol := getScratch(kdim * cols)
 		for s := lo; s < hi; s++ {
 			Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, col)
-			gout := FromSlice(gradOut.data[s*oc*cols:(s+1)*oc*cols], oc, cols)
+			gout := gradOut.data[s*oc*cols : (s+1)*oc*cols]
 			// gradW += gout · colᵀ
-			colMat := FromSlice(col, kdim, cols)
-			colT := Transpose2D(colMat)
-			matmulInto(FromSlice(gw, oc, kdim), gout, colT, oc, cols, kdim, true)
+			transposeInto(col, kdim, cols, colT)
+			matmulSerial(gw, kdim, gout, cols, colT, kdim, oc, cols, kdim, true)
 			// gradCol = Wᵀ · gout, then scatter back to image space.
-			matmulInto(FromSlice(gcol, kdim, cols), wmatT, gout, kdim, oc, cols, false)
+			wtp.mulInto(gcol, cols, gout, cols, cols, false)
 			Col2Im(gcol, c, h, w, kh, kw, stride, pad, gradIn.data[s*c*h*w:(s+1)*c*h*w])
 			if gb != nil {
 				for o := 0; o < oc; o++ {
-					grow := gout.data[o*cols : (o+1)*cols]
+					grow := gout[o*cols : (o+1)*cols]
 					sum := float32(0)
 					for _, v := range grow {
 						sum += v
@@ -270,9 +317,13 @@ func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad in
 				}
 			}
 		}
+		putScratch(gcol)
+		putScratch(colT)
+		putScratch(col)
 		partialW[slot] = gw
 		partialB[slot] = gb
 	})
+	wtp.release()
 	for _, gw := range partialW {
 		if gw == nil {
 			continue
@@ -280,16 +331,18 @@ func Conv2DBackward(input, weight, gradOut, gradW, gradB *Tensor, stride, pad in
 		for i, v := range gw {
 			gwMat.data[i] += v
 		}
+		putScratch(gw)
 	}
-	if gradB != nil {
-		for _, gb := range partialB {
-			if gb == nil {
-				continue
-			}
+	for _, gb := range partialB {
+		if gb == nil {
+			continue
+		}
+		if gradB != nil {
 			for i, v := range gb {
 				gradB.data[i] += v
 			}
 		}
+		putScratch(gb)
 	}
 	return gradIn
 }

@@ -1,0 +1,65 @@
+//go:build amd64
+
+package tensor
+
+// AVX2+FMA micro-kernel selection. The assembly kernel (gemm_amd64.s)
+// computes a 6×16 float32 tile — 12 YMM accumulators, two YMM loads of the
+// packed B row and six broadcast loads of the packed A column per k step —
+// which is the classic occupancy-optimal shape for the 16-register AVX2
+// file. Feature detection is done directly with CPUID/XGETBV so the package
+// stays dependency-free; the OS must have enabled XMM+YMM state saving or
+// we stay on the scalar kernel.
+
+// gemmKernel6x16 computes cbuf (6×16, contiguous) = or += the product of a
+// packed A panel block (k-major, 6 wide) and a packed B panel block
+// (k-major, 16 wide) over kc steps. acc != 0 resumes from cbuf's contents.
+//
+//go:noescape
+func gemmKernel6x16(a, b, cbuf *float32, kc, acc int)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (OS-enabled SIMD state).
+func xgetbv0() (eax, edx uint32)
+
+func init() {
+	if !cpuHasAVX2FMA() {
+		return
+	}
+	gemmMR, gemmNR = 6, 16
+	microKernel = kernelAVX2
+	gemmKernelName = "avx2-6x16"
+}
+
+func cpuHasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 and 2: the OS saves XMM and YMM state on context switch.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2Bit != 0
+}
+
+func kernelAVX2(a, b, cbuf []float32, kc int, acc bool) {
+	ai := 0
+	if acc {
+		ai = 1
+	}
+	gemmKernel6x16(&a[0], &b[0], &cbuf[0], kc, ai)
+}

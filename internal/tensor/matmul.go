@@ -3,7 +3,7 @@ package tensor
 import (
 	"fmt"
 
-	"drainnas/internal/parallel"
+	"drainnas/internal/metrics"
 )
 
 // MatMul computes the matrix product of a (m×k) and b (k×n), parallelized
@@ -37,42 +37,49 @@ func matmulDims(a, b *Tensor) (m, k, n int) {
 	return m, k, b.shape[1]
 }
 
-// matmulInto writes (or accumulates into) out = a·b. Parallelism is over
-// output rows: each worker owns a disjoint row range, so no synchronization
-// is needed on out.
+// matmulInto writes (or accumulates into) out = a·b, dispatching on size:
+// matrices below gemmSerialCutoff run the naive streaming kernel serially
+// (packing and goroutine fan-out both cost more than they save there);
+// everything larger goes to the cache-blocked, register-tiled kernel in
+// gemm.go, parallelized over output tiles.
 func matmulInto(out, a, b *Tensor, m, k, n int, acc bool) {
-	ad, bd, od := a.data, b.data, out.data
-	workers := 0
-	// For small matrices the goroutine fan-out dominates; stay serial.
-	if m*k*n < 1<<15 {
-		workers = 1
+	if m*k*n < gemmSerialCutoff {
+		metrics.Kernel.NaiveCall()
+		matmulNaive(out.data, n, a.data, k, b.data, n, m, k, n, acc)
+		return
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := od[i*n : (i+1)*n]
-			if !acc {
-				for j := range orow {
-					orow[j] = 0
-				}
+	metrics.Kernel.GemmCall()
+	gemmParallel(out.data, a.data, b.data, m, k, n, acc)
+}
+
+// matmulNaive is the dense i-k-j streaming kernel: the innermost loop walks
+// one B row and one C row sequentially, the cache-friendliest layout for
+// row-major data without packing. It is retained for two jobs — the serial
+// path for tiny matrices (below gemmSerialCutoff, where the tiled kernel's
+// packing cannot amortize) and the oracle the tiled kernel's parity tests
+// compare against. It deliberately has no zero-skip branch: on dense
+// activations the branch never fires and only costs the predictor.
+//
+// Operands are strided: c is m×n with leading dimension ldc, a is m×k with
+// lda, b is k×n with ldb, which lets convolution row-chunks address column
+// windows of wider matrices in place.
+func matmulNaive(c []float32, ldc int, a []float32, lda int, b []float32, ldb int, m, k, n int, acc bool) {
+	for i := 0; i < m; i++ {
+		crow := c[i*ldc : i*ldc+n]
+		if !acc {
+			for j := range crow {
+				crow[j] = 0
 			}
-			arow := ad[i*k : (i+1)*k]
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := bd[kk*n : (kk+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+		}
+		arow := a[i*lda : i*lda+k]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			brow := b[kk*ldb : kk*ldb+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
 	}
-	if workers == 1 {
-		body(0, m)
-		return
-	}
-	parallel.ForChunked(m, 0, body)
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

@@ -11,6 +11,8 @@ func benchMM(b *testing.B, m, k, n int) {
 		MatMul(a, bb)
 	}
 	b.SetBytes(int64(m*k*n) * 2 * 4)
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
 }
 
 func BenchmarkMM256(b *testing.B)  { benchMM(b, 256, 256, 256) }
