@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all bench-kernels bench-smoke
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-smoke
 
-ci: vet build test race fuzz bench-smoke
+ci: vet build test race crash-resume fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,13 @@ race:
 
 race-all:
 	$(GO) test -race ./internal/...
+
+# Sweep durability gate: the crash/resume, streaming-journal, cancellation
+# and retry suites under the race detector, including the binary-level
+# SIGINT → drain → -resume test.
+crash-resume:
+	$(GO) test -race -run 'CrashResume|Journal|MapCtx|Retry|Resume|Sweep|Interrupt' \
+		./internal/nas ./internal/parallel ./internal/metrics ./cmd/nascli
 
 # Short fuzz smoke runs: the container decoder and the runtime loader must
 # reject arbitrary input without panicking.

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SweepStats aggregates trial-level counters for a NAS sweep: outcomes,
+// retries, journal reuse and an ETA derived from the observed completion
+// rate. All methods are safe for concurrent use (trials finish on worker
+// goroutines), and every method is a no-op on a nil receiver so
+// instrumentation points need no nil checks.
+type SweepStats struct {
+	mu sync.Mutex
+
+	total  int // full plan size, journal-reused trials included
+	reused int // trials satisfied from a resumed journal
+
+	succeeded uint64
+	failed    uint64
+	retried   uint64
+
+	durSum time.Duration // wall time of completed trials (per-trial, not per-sweep)
+	start  time.Time
+}
+
+// Begin records the sweep plan: total trials in the full plan and how many
+// were reused from a journal, and stamps the clock the ETA counts from.
+func (s *SweepStats) Begin(total, reused int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.total = total
+	s.reused = reused
+	s.start = time.Now()
+	s.mu.Unlock()
+}
+
+// TrialDone records one successful trial and its duration.
+func (s *SweepStats) TrialDone(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.succeeded++
+	s.durSum += d
+	s.mu.Unlock()
+}
+
+// TrialFailed records one trial that exhausted its attempts.
+func (s *SweepStats) TrialFailed(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.failed++
+	s.durSum += d
+	s.mu.Unlock()
+}
+
+// Retried records one retry of a transiently-failed trial.
+func (s *SweepStats) Retried() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.retried++
+	s.mu.Unlock()
+}
+
+// SweepSnapshot is a point-in-time copy of the counters with the derived
+// rates a progress line wants.
+type SweepSnapshot struct {
+	Total     int    `json:"total"`
+	Reused    int    `json:"reused"`
+	Succeeded uint64 `json:"succeeded"`
+	Failed    uint64 `json:"failed"`
+	Retried   uint64 `json:"retried"`
+	Remaining int    `json:"remaining"`
+
+	MeanTrialMS float64       `json:"mean_trial_ms"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	// ETA extrapolates the remaining wall time from the completion rate so
+	// far (which already reflects worker parallelism); zero until at least
+	// one trial has completed.
+	ETA time.Duration `json:"eta_ns"`
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *SweepStats) Snapshot() SweepSnapshot {
+	if s == nil {
+		return SweepSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SweepSnapshot{
+		Total:     s.total,
+		Reused:    s.reused,
+		Succeeded: s.succeeded,
+		Failed:    s.failed,
+		Retried:   s.retried,
+	}
+	completed := s.succeeded + s.failed
+	snap.Remaining = s.total - s.reused - int(completed)
+	if snap.Remaining < 0 {
+		snap.Remaining = 0
+	}
+	if completed > 0 {
+		snap.MeanTrialMS = ms(s.durSum) / float64(completed)
+	}
+	if !s.start.IsZero() {
+		snap.Elapsed = time.Since(s.start)
+		if completed > 0 && snap.Remaining > 0 {
+			perTrial := snap.Elapsed / time.Duration(completed)
+			snap.ETA = perTrial * time.Duration(snap.Remaining)
+		}
+	}
+	return snap
+}
+
+// String renders the snapshot on one line.
+func (s SweepSnapshot) String() string {
+	line := fmt.Sprintf("done=%d fail=%d retry=%d reuse=%d remaining=%d/%d",
+		s.Succeeded, s.Failed, s.Retried, s.Reused, s.Remaining, s.Total)
+	if s.ETA > 0 {
+		line += fmt.Sprintf(" eta=%s", s.ETA.Round(time.Second))
+	}
+	return line
+}

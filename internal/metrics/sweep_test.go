@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSweepStatsCounters(t *testing.T) {
+	s := &SweepStats{}
+	s.Begin(100, 40)
+	for i := 0; i < 50; i++ {
+		s.TrialDone(10 * time.Millisecond)
+	}
+	s.TrialFailed(20 * time.Millisecond)
+	s.Retried()
+	s.Retried()
+	snap := s.Snapshot()
+	if snap.Total != 100 || snap.Reused != 40 {
+		t.Fatalf("plan: %+v", snap)
+	}
+	if snap.Succeeded != 50 || snap.Failed != 1 || snap.Retried != 2 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	if snap.Remaining != 9 { // 100 - 40 reused - 51 completed
+		t.Fatalf("remaining %d, want 9", snap.Remaining)
+	}
+	wantMean := (50*10.0 + 20.0) / 51
+	if snap.MeanTrialMS < wantMean-1e-9 || snap.MeanTrialMS > wantMean+1e-9 {
+		t.Fatalf("mean trial %.3f ms, want %.3f", snap.MeanTrialMS, wantMean)
+	}
+	if snap.Elapsed <= 0 {
+		t.Fatal("elapsed not tracked")
+	}
+	if snap.ETA <= 0 {
+		t.Fatal("ETA should be positive with work remaining")
+	}
+	for _, want := range []string{"done=50", "fail=1", "retry=2", "reuse=40", "remaining=9/100", "eta="} {
+		if !strings.Contains(snap.String(), want) {
+			t.Fatalf("String() missing %q: %s", want, snap.String())
+		}
+	}
+}
+
+func TestSweepStatsETAZeroWhenDoneOrIdle(t *testing.T) {
+	s := &SweepStats{}
+	s.Begin(2, 0)
+	if eta := s.Snapshot().ETA; eta != 0 {
+		t.Fatalf("ETA %v before any completion", eta)
+	}
+	s.TrialDone(time.Millisecond)
+	s.TrialDone(time.Millisecond)
+	snap := s.Snapshot()
+	if snap.Remaining != 0 || snap.ETA != 0 {
+		t.Fatalf("finished sweep: remaining=%d eta=%v", snap.Remaining, snap.ETA)
+	}
+}
+
+func TestSweepStatsRemainingNeverNegative(t *testing.T) {
+	s := &SweepStats{}
+	s.Begin(1, 0)
+	s.TrialDone(time.Millisecond)
+	s.TrialDone(time.Millisecond) // over-report
+	if r := s.Snapshot().Remaining; r != 0 {
+		t.Fatalf("remaining %d", r)
+	}
+}
+
+func TestSweepStatsNilReceiver(t *testing.T) {
+	var s *SweepStats
+	s.Begin(10, 0)
+	s.TrialDone(time.Second)
+	s.TrialFailed(time.Second)
+	s.Retried()
+	if snap := s.Snapshot(); snap.Total != 0 {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+}
+
+func TestSweepStatsConcurrent(t *testing.T) {
+	s := &SweepStats{}
+	s.Begin(400, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.TrialDone(time.Millisecond)
+				s.Retried()
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Succeeded != 400 || snap.Retried != 400 {
+		t.Fatalf("lost updates: %+v", snap)
+	}
+}

@@ -1,12 +1,12 @@
 package nas
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
+	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"drainnas/internal/metrics"
 	"drainnas/internal/parallel"
 	"drainnas/internal/profiler"
 	"drainnas/internal/resnet"
@@ -39,21 +39,62 @@ type ExperimentOptions struct {
 	// SimulateAttrition applies the paper-calibrated trial failure model so
 	// a full paper grid yields exactly 1,717 valid outcomes.
 	SimulateAttrition bool
-	// Progress, when non-nil, receives (done, total) after every trial.
+	// Progress, when non-nil, receives (done, total) after every trial. It
+	// is invoked concurrently from worker goroutines and must be safe for
+	// concurrent use.
 	Progress func(done, total int)
+	// ProgressOffset shifts the done count and ProgressTotal overrides the
+	// total reported to Progress (0 means len(configs) + ProgressOffset).
+	// A resumed sweep sets these so a 288-trial plan with 276 journaled
+	// trials reports "277/288", not "1/12".
+	ProgressOffset int
+	ProgressTotal  int
+	// Journal, when non-nil, receives each trial as it completes — the
+	// streaming durability hook. Appends happen on worker goroutines in
+	// completion order (not input order); the sink must be safe for
+	// concurrent use. The first append error is reported by
+	// ExperimentContext; the sweep itself keeps running.
+	Journal TrialSink
+	// Stats, when non-nil, receives per-trial outcome counters (retries are
+	// counted by RetryEvaluator.OnRetry, which the caller wires up).
+	Stats *metrics.SweepStats
 	// Profiler, when non-nil, records a per-trial "trial" span (plus a
 	// "trial-failed" span for attrition/evaluator failures) — the §5
 	// resource-profiling hook.
 	Profiler *profiler.Profiler
 }
 
+// progressTotal resolves the total reported to the Progress callback.
+func (o ExperimentOptions) progressTotal(n int) int {
+	if o.ProgressTotal > 0 {
+		return o.ProgressTotal
+	}
+	return n + o.ProgressOffset
+}
+
 // Experiment runs every configuration through the evaluator with dynamic
 // load balancing (trials differ wildly in cost) and returns results in
-// input order.
+// input order. It never stops early; for a cancellable sweep use
+// ExperimentContext.
 func Experiment(configs []resnet.Config, eval Evaluator, opts ExperimentOptions) []TrialResult {
+	results, _ := ExperimentContext(context.Background(), configs, eval, opts)
+	return results
+}
+
+// ExperimentContext is Experiment with cooperative cancellation: once ctx
+// is cancelled no new trial starts, trials already running drain to
+// completion (and reach opts.Journal), and the completed results come back
+// in input order. The returned slice holds only trials that actually ran —
+// len(results) < len(configs) after a cancellation. The error is ctx.Err()
+// when the sweep was cut short, else the first journal append failure, else
+// nil.
+func ExperimentContext(ctx context.Context, configs []resnet.Config, eval Evaluator, opts ExperimentOptions) ([]TrialResult, error) {
 	results := make([]TrialResult, len(configs))
+	ran := make([]bool, len(configs))
 	var done atomic.Int64
-	parallel.Map(len(configs), opts.Workers, func(i int) {
+	var journalErr error
+	var journalOnce sync.Once
+	ctxErr := parallel.MapCtx(ctx, len(configs), opts.Workers, func(i int) {
 		cfg := configs[i]
 		start := time.Now()
 		var stop func()
@@ -78,12 +119,33 @@ func Experiment(configs []resnet.Config, eval Evaluator, opts ExperimentOptions)
 				opts.Profiler.Record("trial-failed", res.Duration)
 			}
 		}
+		if res.Status == TrialSucceeded {
+			opts.Stats.TrialDone(res.Duration)
+		} else {
+			opts.Stats.TrialFailed(res.Duration)
+		}
 		results[i] = res
+		ran[i] = true
+		if opts.Journal != nil {
+			if err := opts.Journal.Append(res); err != nil {
+				journalOnce.Do(func() { journalErr = err })
+			}
+		}
 		if opts.Progress != nil {
-			opts.Progress(int(done.Add(1)), len(configs))
+			opts.Progress(int(done.Add(1))+opts.ProgressOffset, opts.progressTotal(len(configs)))
 		}
 	})
-	return results
+	if ctxErr == nil {
+		// Full run: every slot is filled, skip the compaction scan.
+		return results, journalErr
+	}
+	completed := results[:0]
+	for i, r := range results {
+		if ran[i] {
+			completed = append(completed, r)
+		}
+	}
+	return completed, ctxErr
 }
 
 // Succeeded filters an experiment's results to its valid outcomes.
@@ -111,33 +173,6 @@ func BestByAccuracy(results []TrialResult) (TrialResult, bool) {
 	return best, ok
 }
 
-// WriteJournal streams results as JSON lines (one trial per line, NNI
-// journal style).
-func WriteJournal(w io.Writer, results []TrialResult) error {
-	enc := json.NewEncoder(w)
-	for _, r := range results {
-		if err := enc.Encode(r); err != nil {
-			return fmt.Errorf("nas: writing journal: %w", err)
-		}
-	}
-	return nil
-}
-
-// ReadJournal parses a JSON-lines journal back into trial results.
-func ReadJournal(r io.Reader) ([]TrialResult, error) {
-	dec := json.NewDecoder(r)
-	var out []TrialResult
-	for {
-		var t TrialResult
-		if err := dec.Decode(&t); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("nas: reading journal: %w", err)
-		}
-		out = append(out, t)
-	}
-}
-
 // Resume support: a long NNI-style sweep interrupted mid-run restarts from
 // its journal, re-running only the trials that have no recorded outcome.
 
@@ -161,26 +196,53 @@ func FilterCompleted(configs []resnet.Config, journal []TrialResult) (remaining 
 	return remaining, completed
 }
 
-// ResumeExperiment continues an interrupted sweep: journaled successes are
-// reused, the remainder re-runs through the evaluator, and the merged
-// results come back in the order of configs.
-func ResumeExperiment(configs []resnet.Config, journal []TrialResult, eval Evaluator, opts ExperimentOptions) []TrialResult {
-	remaining, completed := FilterCompleted(configs, journal)
-	fresh := Experiment(remaining, eval, opts)
-	byCfg := make(map[resnet.Config]TrialResult, len(completed)+len(fresh))
-	for _, r := range completed {
-		byCfg[r.Config] = r
+// MergeResults orders trial outcomes by the plan: for each config (in
+// order) it takes the outcome from the last set that has one, reassigns
+// IDs to plan positions, and skips configs with no outcome yet (a sweep
+// interrupted before reaching them). Typical use merges journal-reused
+// results with a fresh partial run, fresh last so re-runs win.
+func MergeResults(configs []resnet.Config, sets ...[]TrialResult) []TrialResult {
+	byCfg := make(map[resnet.Config]TrialResult)
+	for _, set := range sets {
+		for _, r := range set {
+			byCfg[r.Config] = r
+		}
 	}
-	for _, r := range fresh {
-		byCfg[r.Config] = r
-	}
-	out := make([]TrialResult, len(configs))
+	out := make([]TrialResult, 0, len(configs))
 	for i, cfg := range configs {
-		r := byCfg[cfg]
+		r, ok := byCfg[cfg]
+		if !ok {
+			continue
+		}
 		r.ID = i
-		out[i] = r
+		out = append(out, r)
 	}
 	return out
+}
+
+// ResumeExperiment continues an interrupted sweep: journaled successes are
+// reused, the remainder re-runs through the evaluator, and the merged
+// results come back in the order of configs. Progress reports against the
+// full plan (done includes the reused trials).
+func ResumeExperiment(configs []resnet.Config, journal []TrialResult, eval Evaluator, opts ExperimentOptions) []TrialResult {
+	results, _ := ResumeExperimentContext(context.Background(), configs, journal, eval, opts)
+	return results
+}
+
+// ResumeExperimentContext is ResumeExperiment with cooperative
+// cancellation: a resumed sweep that is itself interrupted returns the
+// journal-reused results plus whatever fresh trials completed, merged in
+// plan order, alongside ctx.Err().
+func ResumeExperimentContext(ctx context.Context, configs []resnet.Config, journal []TrialResult, eval Evaluator, opts ExperimentOptions) ([]TrialResult, error) {
+	remaining, completed := FilterCompleted(configs, journal)
+	if opts.ProgressOffset == 0 {
+		opts.ProgressOffset = len(completed)
+	}
+	if opts.ProgressTotal == 0 {
+		opts.ProgressTotal = len(configs)
+	}
+	fresh, err := ExperimentContext(ctx, remaining, eval, opts)
+	return MergeResults(configs, completed, fresh), err
 }
 
 // EstimateFullScale extrapolates full-paper wall time from a measured

@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// MapCtx runs fn(i) for every i in [0, n) like Map, but stops handing out
+// new iterations once ctx is cancelled. Iterations already claimed by a
+// worker always run to completion (graceful drain): MapCtx never abandons
+// an in-flight fn, it only withholds the remainder. It returns nil when all
+// n iterations ran, and ctx.Err() when cancellation cut the loop short.
+//
+// Because the hand-out channel is unbuffered, "claimed" and "running" are
+// the same thing: after MapCtx returns, every index it handed out has
+// finished, and no other index was started. That is the contract a
+// checkpointing caller (a NAS sweep journaling each trial) needs to know
+// exactly which units of work completed.
+func MapCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(i)
+		}
+		return nil
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	handedOut := 0
+	for i := 0; i < n; i++ {
+		// A non-blocking Done check first: when ctx is already cancelled,
+		// the select below could still randomly pick the send case.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case next <- i:
+			handedOut++
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(next)
+	wg.Wait()
+	if handedOut < n {
+		return ctx.Err()
+	}
+	return nil
+}

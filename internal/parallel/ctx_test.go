@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCtxRunsAllWithoutCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := MapCtx(context.Background(), 100, workers, func(i int) {
+			ran.Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d/100", workers, ran.Load())
+		}
+	}
+}
+
+func TestMapCtxAlreadyCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := MapCtx(ctx, 50, workers, func(i int) { ran.Add(1) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: ran %d iterations under a dead context", workers, ran.Load())
+		}
+	}
+}
+
+// TestMapCtxDrainsInFlight cancels mid-run and asserts (a) the error
+// surfaces, (b) every claimed iteration ran to completion before MapCtx
+// returned, and (c) not all iterations ran (the remainder was withheld).
+func TestMapCtxDrainsInFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int64
+	var once sync.Once
+	err := MapCtx(ctx, 1000, 4, func(i int) {
+		started.Add(1)
+		if started.Load() >= 8 {
+			once.Do(cancel)
+		}
+		time.Sleep(time.Millisecond)
+		finished.Add(1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() != finished.Load() {
+		t.Fatalf("in-flight work abandoned: started %d, finished %d", started.Load(), finished.Load())
+	}
+	if finished.Load() >= 1000 {
+		t.Fatal("cancellation did not withhold any iterations")
+	}
+}
+
+func TestMapCtxSingleWorkerStopsBetweenIterations(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := MapCtx(ctx, 100, 1, func(i int) {
+		ran++
+		if i == 9 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 10 {
+		t.Fatalf("inline path ran %d iterations, want 10", ran)
+	}
+}
+
+func TestMapCtxZeroN(t *testing.T) {
+	if err := MapCtx(context.Background(), 0, 4, func(int) { t.Fatal("called") }); err != nil {
+		t.Fatal(err)
+	}
+}
