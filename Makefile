@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-smoke
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-smoke obs-smoke
 
-ci: vet build test race crash-resume fuzz bench-smoke
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/...
+	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -31,6 +31,12 @@ race-all:
 crash-resume:
 	$(GO) test -race -run 'CrashResume|Journal|MapCtx|Retry|Resume|Sweep|Interrupt' \
 		./internal/nas ./internal/parallel ./internal/metrics ./cmd/nascli
+
+# Observability smoke: build the real servd binary, scrape GET /metrics over
+# HTTP, and hold the page to the exposition validator (line grammar, family
+# contiguity, histogram bucket invariants); also exercises the SIGTERM drain.
+obs-smoke:
+	$(GO) test -race -run 'ServdMetricsSmoke|ServdGracefulShutdown|MetricsEndpoint' ./cmd/servd
 
 # Short fuzz smoke runs: the container decoder and the runtime loader must
 # reject arbitrary input without panicking.

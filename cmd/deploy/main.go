@@ -11,12 +11,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drainnas/internal/dataset"
@@ -26,6 +27,7 @@ import (
 	"drainnas/internal/metrics"
 	"drainnas/internal/nn"
 	"drainnas/internal/onnxsize"
+	"drainnas/internal/report"
 	"drainnas/internal/resnet"
 	"drainnas/internal/serve"
 	"drainnas/internal/tensor"
@@ -175,7 +177,10 @@ type loadOptions struct {
 // driveLoad stands up the batching serving layer over the exported
 // container and fires a concurrent request stream at it, reporting the
 // metrics that matter for deployment sizing: throughput, latency
-// percentiles, achieved batch size and backpressure counts.
+// percentiles, achieved batch size and backpressure counts. Client-side
+// latencies stream into a lock-free metrics.Histogram — the same machinery
+// servd exports on /metrics — so the drive itself adds no mutex contention
+// to the measured path.
 func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts loadOptions) {
 	fmt.Printf("\nload test: %d requests, %d clients (max-batch %d, max-delay %s)\n",
 		opts.requests, opts.clients, opts.maxBatch, opts.maxDelay)
@@ -195,9 +200,8 @@ func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts 
 		inputs[i] = x
 	}
 
-	latencies := make([]time.Duration, opts.requests)
-	var rejected, failed int64
-	var mu sync.Mutex
+	hist := metrics.NewHistogram()
+	var served, rejected, failed atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
 	start := time.Now()
@@ -205,19 +209,18 @@ func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts 
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			for i := range next {
+			for range next {
 				t0 := time.Now()
 				_, err := srv.Submit(context.Background(), cfg.Key(), inputs[c])
-				mu.Lock()
 				switch {
 				case err == nil:
-					latencies[i] = time.Since(t0)
-				case err == serve.ErrQueueFull:
-					rejected++
+					served.Add(1)
+					hist.Observe(time.Since(t0))
+				case errors.Is(err, serve.ErrQueueFull):
+					rejected.Add(1)
 				default:
-					failed++
+					failed.Add(1)
 				}
-				mu.Unlock()
 			}
 		}(c)
 	}
@@ -228,27 +231,11 @@ func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts 
 	wg.Wait()
 	wall := time.Since(start)
 
-	var served []time.Duration
-	for _, l := range latencies {
-		if l > 0 {
-			served = append(served, l)
-		}
-	}
-	sort.Slice(served, func(a, b int) bool { return served[a] < served[b] })
-	pct := func(p float64) time.Duration {
-		if len(served) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(served)-1))
-		return served[i]
-	}
 	snap := stats.Snapshot()
 	fmt.Printf("  served %d/%d in %s (%.1f req/s), rejected %d, failed %d\n",
-		len(served), opts.requests, wall.Round(time.Millisecond),
-		float64(len(served))/wall.Seconds(), rejected, failed)
-	fmt.Printf("  latency p50 %s  p95 %s  p99 %s  max %s\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
-	fmt.Printf("  batches %d  mean batch %.2f  max queue depth %d\n",
-		snap.Batches, snap.MeanBatch, snap.MaxQueueDepth)
+		served.Load(), opts.requests, wall.Round(time.Millisecond),
+		float64(served.Load())/wall.Seconds(), rejected.Load(), failed.Load())
+	fmt.Printf("  batches %d  mean batch %.2f  max queue depth %d  queue wait p99 %.2fms\n",
+		snap.Batches, snap.MeanBatch, snap.MaxQueueDepth, snap.QueueWait.P99MS)
+	fmt.Print(report.LatencyBars("  client-observed latency", hist.Snapshot(), 40))
 }

@@ -39,7 +39,9 @@ func TestDeployBinarySmoke(t *testing.T) {
 		"host CPU inference",
 		"load test: 24 requests",
 		"served 24/24",
-		"latency p50",
+		"client-observed latency  (n=24)",
+		"p50 ",
+		"p99 ",
 		"mean batch",
 	} {
 		if !strings.Contains(text, want) {

@@ -302,7 +302,12 @@ func main() {
 	}
 	fmt.Printf("\nsweep complete: %d/%d trials succeeded in %s (%.1f fresh trials/s)\n",
 		len(ok), len(results), elapsed.Round(time.Millisecond), rate)
-	fmt.Printf("counters: %s\n", stats.Snapshot())
+	snap := stats.Snapshot()
+	fmt.Printf("counters: %s\n", snap)
+	if snap.Trials.Count > 0 {
+		fmt.Printf("trial wall time: p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+			snap.Trials.P50MS, snap.Trials.P95MS, snap.Trials.P99MS, snap.Trials.MaxMS)
+	}
 	best, found := nas.BestByAccuracy(results)
 	if found {
 		fmt.Printf("best: %.2f%%  %s\n", best.Accuracy, best.Config.Key())

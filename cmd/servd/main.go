@@ -12,13 +12,25 @@
 //	                   -> {"model","class","logits","batch_size",
 //	                       "queued_ms","total_ms"}
 //	GET  /v1/stats     serving counters + model cache + GEMM kernel counters
-//	GET  /healthz      liveness + available models
+//	GET  /metrics      the same counters in Prometheus text exposition
+//	                   format, including latency histograms and quantiles
+//	GET  /healthz      liveness + available models; 503 "degraded" when the
+//	                   model directory is unreadable
+//	GET  /debug/pprof/ runtime profiles (only with -pprof)
 //
 // Backpressure maps to transport codes: a full queue answers 429, a closed
-// server 503, an unknown model 404.
+// server 503, an unknown model 404. Every response carries an X-Request-ID
+// (honoring an incoming one) and is access-logged with its latency.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// requests for up to -drain, closes the serving core (flushing pending
+// batches) and exits 0.
 package main
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,9 +39,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"drainnas/internal/infer"
@@ -40,13 +56,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		models   = flag.String("models", ".", "directory of exported .dnnx model containers")
-		maxBatch = flag.Int("max-batch", 8, "flush a batch at this many requests")
-		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "flush a non-empty batch after this delay")
-		queueCap = flag.Int("queue", 256, "bounded admission queue capacity")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		cacheCap = flag.Int("cache", 4, "resident model cache capacity")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models    = flag.String("models", ".", "directory of exported .dnnx model containers")
+		maxBatch  = flag.Int("max-batch", 8, "flush a batch at this many requests")
+		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "flush a non-empty batch after this delay")
+		queueCap  = flag.Int("queue", 256, "bounded admission queue capacity")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheCap  = flag.Int("cache", 4, "resident model cache capacity")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -54,14 +72,121 @@ func main() {
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
 		QueueCap: *queueCap, Workers: *workers, CacheCap: *cacheCap,
 	})
-	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("servd: %v", err)
 	}
+
+	mux := newAPI(srv, *models)
+	if *pprofFlag {
+		registerPprof(mux)
+	}
+	hs := &http.Server{
+		Handler: withAccessLog(mux),
+		// A predict request can legitimately sit in the batching queue, so the
+		// write timeout is generous; the read timeouts bound slow-loris bodies
+		// and idle keep-alives.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
 	log.Printf("servd: listening on %s (models from %s)", ln.Addr(), *models)
-	log.Fatal(http.Serve(ln, newAPI(srv, *models)))
+	if *pprofFlag {
+		log.Printf("servd: pprof enabled under /debug/pprof/")
+	}
+
+	select {
+	case err := <-serveErr:
+		// The listener failed outright; nothing is draining.
+		srv.Close()
+		log.Fatalf("servd: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of re-draining
+		log.Printf("servd: shutdown signal; draining for up to %s", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("servd: drain incomplete: %v", err)
+		}
+		// The HTTP side is quiet (or timed out); flush the batcher so every
+		// admitted request is answered before the process exits.
+		srv.Close()
+		log.Printf("servd: drained, exiting")
+	}
+}
+
+// withAccessLog wraps h with request-ID propagation and one structured log
+// line per request: id, method, path, status, response bytes and latency.
+// An incoming X-Request-ID is honored (so IDs follow a request across
+// proxies); otherwise one is minted, and either way it is echoed back.
+func withAccessLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		log.Printf("servd: access id=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f",
+			id, r.Method, r.URL.Path, rec.status, rec.bytes,
+			float64(time.Since(start))/float64(time.Millisecond))
+	})
+}
+
+// reqIDPrefix distinguishes this process's IDs from a restarted instance's;
+// the atomic counter distinguishes requests within it.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "servd"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// registerPprof wires the net/http/pprof handlers onto mux explicitly — the
+// server never exposes http.DefaultServeMux, so the package's init-time
+// registrations alone would be unreachable.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // newDirLoader maps model keys to container files under dir. A key is the
@@ -89,11 +214,11 @@ func newDirLoader(dir string) func(key string) (*infer.Runtime, error) {
 }
 
 // listModels returns the model keys (base names without extension)
-// available in dir.
-func listModels(dir string) []string {
+// available in dir, or the directory error so /healthz can surface it.
+func listModels(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	var keys []string
 	for _, e := range entries {
@@ -101,7 +226,7 @@ func listModels(dir string) []string {
 			keys = append(keys, strings.TrimSuffix(e.Name(), ".dnnx"))
 		}
 	}
-	return keys
+	return keys, nil
 }
 
 type predictRequest struct {
@@ -178,14 +303,46 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 		})
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e := metrics.NewExpositionWriter(w)
+		srv.Stats().Snapshot().WriteProm(e)
+		writeCacheProm(e, srv.Cache().Stats())
+		metrics.Kernel.Snapshot().WriteProm(e)
+		if err := e.Flush(); err != nil {
+			log.Printf("servd: writing /metrics: %v", err)
+		}
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		keys, err := listModels(modelDir)
+		if err != nil {
+			// An unreadable model directory means every predict will 404 or
+			// 500: say so instead of reporting ok with zero models.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded",
+				"error":  err.Error(),
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ok",
-			"models": listModels(modelDir),
+			"models": keys,
 		})
 	})
 
 	return mux
+}
+
+// writeCacheProm exports the model-cache counters; the cache lives in
+// internal/serve (which imports metrics), so the exposition mapping sits
+// here rather than creating an import cycle.
+func writeCacheProm(e *metrics.ExpositionWriter, cs serve.CacheStats) {
+	e.Gauge("drainnas_model_cache_resident", "Resident model runtimes.", float64(cs.Len))
+	e.Gauge("drainnas_model_cache_capacity", "Model cache capacity.", float64(cs.Capacity))
+	e.Counter("drainnas_model_cache_hits_total", "Model lookups served from cache.", float64(cs.Hits))
+	e.Counter("drainnas_model_cache_misses_total", "Model lookups that loaded from disk.", float64(cs.Misses))
+	e.Counter("drainnas_model_cache_evictions_total", "Models evicted to respect capacity.", float64(cs.Evictions))
 }
 
 func requestTensor(req predictRequest) (*tensor.Tensor, error) {

@@ -1,19 +1,23 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
+	"sync"
+	"syscall"
 
 	"testing"
 	"time"
 
+	"drainnas/internal/metrics"
 	"drainnas/internal/onnxsize"
 	"drainnas/internal/resnet"
 	"drainnas/internal/serve"
@@ -91,6 +95,12 @@ func TestAPIPredictStatsHealth(t *testing.T) {
 	var stats struct {
 		Serving struct {
 			Completed uint64 `json:"completed"`
+			Latency   struct {
+				Count uint64 `json:"count"`
+			} `json:"latency"`
+			PerModel map[string]struct {
+				Completed uint64 `json:"completed"`
+			} `json:"per_model"`
 		} `json:"serving"`
 		Cache struct {
 			Len int `json:"len"`
@@ -106,6 +116,10 @@ func TestAPIPredictStatsHealth(t *testing.T) {
 	}
 	if stats.Serving.Completed != 1 || stats.Cache.Len != 1 {
 		t.Fatalf("stats %+v", stats)
+	}
+	// The latency histogram and per-model breakdown ride in the same payload.
+	if stats.Serving.Latency.Count != 1 || stats.Serving.PerModel["tiny"].Completed != 1 {
+		t.Fatalf("histogram/per-model stats missing: %+v", stats.Serving)
 	}
 	// The served forward pass must have gone through the GEMM dispatcher
 	// (either path counts, depending on the model's layer sizes), and the
@@ -177,56 +191,206 @@ func TestAPIErrorMapping(t *testing.T) {
 	}
 }
 
-// TestServdBinarySmoke is the end-to-end smoke test the issue asks for:
-// build the real binary, point it at a tiny exported model, and assert a
-// well-formed prediction over actual HTTP.
-func TestServdBinarySmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("binary smoke test skipped in -short mode")
+// TestHealthzDegradedOnUnreadableModels is the regression test for /healthz
+// reporting ok when the model directory cannot be read: that server answers
+// 404/500 to every predict and must not pass a readiness probe.
+func TestHealthzDegradedOnUnreadableModels(t *testing.T) {
+	dir := t.TempDir()
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	gone := filepath.Join(dir, "does-not-exist")
+	ts := httptest.NewServer(newAPI(srv, gone))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with unreadable dir -> %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Error == "" {
+		t.Fatalf("degraded health payload %+v", health)
+	}
+}
+
+// TestMetricsEndpoint drives the in-process handler and holds the /metrics
+// page to the same validator make obs-smoke uses.
+func TestMetricsEndpoint(t *testing.T) {
 	dir := t.TempDir()
 	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(newAPI(srv, dir))
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+			bytes.NewReader(predictBody(t, cfg, "tiny")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExposition(bytes.NewReader(page)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`drainnas_serving_requests_total{outcome="completed"} 3`,
+		"drainnas_serving_latency_seconds_bucket{",
+		`drainnas_serving_latency_quantile_seconds{quantile="0.99"}`,
+		`drainnas_serving_model_requests_total{model="tiny",outcome="completed"} 3`,
+		"drainnas_model_cache_resident 1",
+		"drainnas_model_cache_misses_total 1",
+		"drainnas_kernel_gemm_calls_total",
+	} {
+		if !bytes.Contains(page, []byte(want)) {
+			t.Fatalf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestAccessLogRequestID(t *testing.T) {
+	dir := t.TempDir()
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(withAccessLog(newAPI(srv, dir)))
+	defer ts.Close()
+
+	// A fresh ID is minted when the client sends none.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Fatal("no X-Request-ID minted")
+	}
+
+	// An incoming ID is honored and echoed, so traces survive proxies.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-ID"); id != "trace-me-42" {
+		t.Fatalf("incoming request ID not echoed: %q", id)
+	}
+
+	// IDs are unique across requests.
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		id := r.Header.Get("X-Request-ID")
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// --- binary-level tests -------------------------------------------------
+
+// buildServd compiles the real binary once per test that needs it.
+func buildServd(t *testing.T, dir string) string {
+	t.Helper()
 	bin := filepath.Join(dir, "servd")
 	build := exec.Command("go", "build", "-o", bin, "drainnas/cmd/servd")
 	build.Dir = "../.."
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-models", dir)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
+// syncBuffer collects a child process's stderr for concurrent inspection.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startServd launches the built binary on an ephemeral port and waits for
+// its logged listen address. The caller owns shutdown.
+func startServd(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *syncBuffer) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	logs := &syncBuffer{}
+	cmd.Stderr = logs
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			return cmd, "http://" + m[1], logs
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("servd never reported its listen address; log:\n%s", logs.String())
+	return nil, "", nil
+}
+
+// TestServdBinarySmoke builds the real binary, points it at a tiny exported
+// model, and asserts a well-formed prediction over actual HTTP.
+func TestServdBinarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	bin := buildServd(t, dir)
+	cmd, url, _ := startServd(t, bin, "-models", dir)
 	defer func() {
 		cmd.Process.Kill()
 		cmd.Wait()
 	}()
 
-	// The binary logs its bound address; parse it to find the port.
-	addrRe := regexp.MustCompile(`listening on (\S+)`)
-	var addr string
-	scanner := bufio.NewScanner(stderr)
-	deadline := time.After(30 * time.Second)
-	found := make(chan string, 1)
-	go func() {
-		for scanner.Scan() {
-			if m := addrRe.FindStringSubmatch(scanner.Text()); m != nil {
-				found <- m[1]
-				return
-			}
-		}
-	}()
-	select {
-	case addr = <-found:
-	case <-deadline:
-		t.Fatal("servd never reported its listen address")
-	}
-
-	url := "http://" + addr
 	waitForHealthy(t, url)
 	resp, err := http.Post(url+"/v1/predict", "application/json",
 		bytes.NewReader(predictBody(t, cfg, "tiny")))
@@ -243,6 +407,182 @@ func TestServdBinarySmoke(t *testing.T) {
 	}
 	if len(pr.Logits) != cfg.NumClasses || pr.Class < 0 || pr.Class >= cfg.NumClasses {
 		t.Fatalf("malformed prediction %+v", pr)
+	}
+}
+
+// TestServdGracefulShutdown is the acceptance test for the SIGTERM path:
+// a request admitted before the signal must still get its 200, and the
+// process must exit 0 after draining (the old log.Fatal(http.Serve(...))
+// skipped all of that).
+func TestServdGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	bin := buildServd(t, dir)
+	// A large MaxBatch and long MaxDelay hold the request in the batching
+	// queue, so SIGTERM provably lands while it is in flight.
+	cmd, url, logs := startServd(t, bin, "-models", dir, "-max-batch", "64", "-max-delay", "1s", "-drain", "20s")
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	waitForHealthy(t, url)
+	type predictResult struct {
+		status int
+		err    error
+	}
+	got := make(chan predictResult, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/predict", "application/json",
+			bytes.NewReader(predictBody(t, cfg, "tiny")))
+		if err != nil {
+			got <- predictResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var pr predictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			got <- predictResult{status: resp.StatusCode, err: err}
+			return
+		}
+		got <- predictResult{status: resp.StatusCode}
+	}()
+
+	// Wait until the request is provably admitted, then signal.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("request never showed up in /v1/stats")
+		}
+		resp, err := http.Get(url + "/v1/stats")
+		if err == nil {
+			var stats struct {
+				Serving struct {
+					Accepted uint64 `json:"accepted"`
+				} `json:"serving"`
+			}
+			dec := json.NewDecoder(resp.Body)
+			decErr := dec.Decode(&stats)
+			resp.Body.Close()
+			if decErr == nil && stats.Serving.Accepted >= 1 {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case r := <-got:
+		if r.err != nil || r.status != http.StatusOK {
+			t.Fatalf("in-flight predict across SIGTERM: status=%d err=%v", r.status, r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight predict never completed after SIGTERM")
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		killed = true
+		if err != nil {
+			t.Fatalf("servd exited non-zero after SIGTERM: %v\nlog:\n%s", err, logs.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("servd never exited after SIGTERM; log:\n%s", logs.String())
+	}
+	if out := logs.String(); !strings.Contains(out, "drained, exiting") {
+		t.Fatalf("no drain log line; log:\n%s", out)
+	}
+}
+
+// TestServdMetricsSmoke is the binary-level scrape make obs-smoke runs: an
+// empty model directory, one scrape, and full exposition validation.
+func TestServdMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildServd(t, dir)
+	cmd, url, _ := startServd(t, bin, "-models", dir)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	waitForHealthy(t, url)
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExposition(bytes.NewReader(page)); err != nil {
+		t.Fatalf("live scrape invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		"drainnas_serving_requests_total",
+		"drainnas_serving_latency_seconds_bucket",
+		"drainnas_model_cache_capacity",
+	} {
+		if !bytes.Contains(page, []byte(want)) {
+			t.Fatalf("scrape missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestServdPprofFlag checks the profile endpoints are reachable only when
+// asked for.
+func TestServdPprofFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildServd(t, dir)
+
+	withFlag, urlOn, _ := startServd(t, bin, "-models", dir, "-pprof")
+	defer func() {
+		withFlag.Process.Kill()
+		withFlag.Wait()
+	}()
+	waitForHealthy(t, urlOn)
+	resp, err := http.Get(urlOn + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with -pprof -> %d", resp.StatusCode)
+	}
+
+	without, urlOff, _ := startServd(t, bin, "-models", dir)
+	defer func() {
+		without.Process.Kill()
+		without.Wait()
+	}()
+	waitForHealthy(t, urlOff)
+	resp2, err := http.Get(urlOff + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without -pprof")
 	}
 }
 

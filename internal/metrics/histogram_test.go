@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBoundsAreStrictlyIncreasing(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v then %v", i, histBounds[i-1], histBounds[i])
+		}
+	}
+	if histBounds[0] != time.Microsecond {
+		t.Fatalf("first bound %v, want 1µs", histBounds[0])
+	}
+	// √2 spacing means exact doubling every two buckets.
+	for i := 2; i < histBuckets; i++ {
+		if histBounds[i] != 2*histBounds[i-2] {
+			t.Fatalf("bound %d = %v, want 2×bound %d = %v", i, histBounds[i], i-2, 2*histBounds[i-2])
+		}
+	}
+	if top := histBounds[histBuckets-1]; top < 5*time.Minute {
+		t.Fatalf("top bound %v too small to cover long trials", top)
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(500 * time.Nanosecond) // below first bound → first bucket
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count %d, want 5", snap.Count)
+	}
+	if want := 12*time.Millisecond + 500*time.Nanosecond; snap.Sum != want {
+		t.Fatalf("sum %v, want %v", snap.Sum, want)
+	}
+	if snap.Max != 10*time.Millisecond {
+		t.Fatalf("max %v, want 10ms", snap.Max)
+	}
+	var total uint64
+	for i, b := range snap.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("bucket %d present with zero count", i)
+		}
+		if i > 0 && b.Lower != snap.Buckets[i-1].Upper && b.Lower < snap.Buckets[i-1].Upper {
+			t.Fatalf("bucket %d overlaps previous: %+v", i, b)
+		}
+		total += b.Count
+	}
+	if total != snap.Count {
+		t.Fatalf("bucket total %d != count %d", total, snap.Count)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram()
+	// An observation exactly on a bound lands in that bound's bucket
+	// (Lower < d ≤ Upper).
+	h.Observe(time.Microsecond)
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 1 || snap.Buckets[0].Upper != time.Microsecond {
+		t.Fatalf("1µs observation landed in %+v", snap.Buckets)
+	}
+
+	// An observation past the last bound lands in the overflow bucket.
+	h2 := NewHistogram()
+	h2.Observe(histBounds[histBuckets-1] + time.Second)
+	snap2 := h2.Snapshot()
+	if len(snap2.Buckets) != 1 || snap2.Buckets[0].Upper != histOverflow {
+		t.Fatalf("overflow observation landed in %+v", snap2.Buckets)
+	}
+	// Interpolation inside the overflow bucket is clamped to the exact max.
+	if q := snap2.Quantile(0.99); q > snap2.Max || q <= histBounds[histBuckets-1] {
+		t.Fatalf("overflow quantile %v outside (%v, %v]", q, histBounds[histBuckets-1], snap2.Max)
+	}
+	if q := snap2.Quantile(1.0); q != snap2.Max {
+		t.Fatalf("p100 %v, want exact max %v", q, snap2.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+
+	snap := h.Snapshot()
+	if p50 := snap.Quantile(0.50); p50 < 500*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 %v, want ≈1ms", p50)
+	}
+	// The single 1s outlier is the top 1%: p100 must hit it exactly, and the
+	// p99 boundary sits at or below it.
+	if q := snap.Quantile(1.0); q != time.Second {
+		t.Fatalf("p100 %v, want exact max 1s", q)
+	}
+	if snap.P99MS > 1000.0001 {
+		t.Fatalf("p99 %.4fms exceeds the max", snap.P99MS)
+	}
+	if snap.MeanMS < 10 || snap.MeanMS > 12 {
+		t.Fatalf("mean %.2fms, want ≈10.99", snap.MeanMS)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if snap.Quantile(-1) < 0 || snap.Quantile(2) != time.Second {
+		t.Fatal("out-of-range quantiles not clamped")
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if snap := nilH.Snapshot(); snap.Count != 0 || snap.Quantile(0.5) != 0 {
+		t.Fatalf("nil snapshot %+v", snap)
+	}
+	var zero Histogram
+	snap := zero.Snapshot()
+	if snap.Count != 0 || len(snap.Buckets) != 0 || snap.P99MS != 0 {
+		t.Fatalf("zero-value snapshot %+v", snap)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(1+(g*per+i)%1000) * time.Microsecond)
+				if i%100 == 0 {
+					_ = h.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*per)
+	}
+	if snap.Max != 1000*time.Microsecond {
+		t.Fatalf("max %v, want 1ms", snap.Max)
+	}
+	if snap.Sum <= 0 {
+		t.Fatalf("sum %v", snap.Sum)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	prev := time.Duration(math.MinInt64)
+	for i := 0; i <= 100; i++ {
+		p := float64(i) / 100
+		q := snap.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone: q(%.2f)=%v < %v", p, q, prev)
+		}
+		prev = q
+	}
+	if prev != snap.Max {
+		t.Fatalf("q(1.0)=%v, want max %v", prev, snap.Max)
+	}
+}

@@ -22,6 +22,7 @@ type SweepStats struct {
 	retried   uint64
 
 	durSum time.Duration // wall time of completed trials (per-trial, not per-sweep)
+	trials Histogram     // per-trial wall-time distribution (succeeded + failed)
 	start  time.Time
 }
 
@@ -46,6 +47,7 @@ func (s *SweepStats) TrialDone(d time.Duration) {
 	s.mu.Lock()
 	s.succeeded++
 	s.durSum += d
+	s.trials.Observe(d)
 	s.mu.Unlock()
 }
 
@@ -57,6 +59,7 @@ func (s *SweepStats) TrialFailed(d time.Duration) {
 	s.mu.Lock()
 	s.failed++
 	s.durSum += d
+	s.trials.Observe(d)
 	s.mu.Unlock()
 }
 
@@ -81,7 +84,11 @@ type SweepSnapshot struct {
 	Remaining int    `json:"remaining"`
 
 	MeanTrialMS float64       `json:"mean_trial_ms"`
-	Elapsed     time.Duration `json:"elapsed_ns"`
+	// Trials is the per-trial wall-time distribution (succeeded and failed
+	// trials both count), the histogram behind the p50/p95/p99 summary the
+	// CLI prints at the end of a sweep.
+	Trials  HistogramSnapshot `json:"trials"`
+	Elapsed time.Duration     `json:"elapsed_ns"`
 	// ETA extrapolates the remaining wall time from the completion rate so
 	// far (which already reflects worker parallelism); zero until at least
 	// one trial has completed.
@@ -101,6 +108,7 @@ func (s *SweepStats) Snapshot() SweepSnapshot {
 		Succeeded: s.succeeded,
 		Failed:    s.failed,
 		Retried:   s.retried,
+		Trials:    s.trials.Snapshot(),
 	}
 	completed := s.succeeded + s.failed
 	snap.Remaining = s.total - s.reused - int(completed)

@@ -30,6 +30,13 @@ func TestSweepStatsCounters(t *testing.T) {
 	if snap.MeanTrialMS < wantMean-1e-9 || snap.MeanTrialMS > wantMean+1e-9 {
 		t.Fatalf("mean trial %.3f ms, want %.3f", snap.MeanTrialMS, wantMean)
 	}
+	// Both successful and failed trials feed the duration histogram.
+	if snap.Trials.Count != 51 || snap.Trials.Max != 20*time.Millisecond {
+		t.Fatalf("trial histogram count=%d max=%v, want 51/20ms", snap.Trials.Count, snap.Trials.Max)
+	}
+	if snap.Trials.P99MS <= 0 || snap.Trials.P50MS > snap.Trials.P99MS {
+		t.Fatalf("trial quantiles p50=%.3f p99=%.3f", snap.Trials.P50MS, snap.Trials.P99MS)
+	}
 	if snap.Elapsed <= 0 {
 		t.Fatal("elapsed not tracked")
 	}

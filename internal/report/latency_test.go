@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"drainnas/internal/metrics"
+)
+
+func TestLatencyBars(t *testing.T) {
+	h := metrics.NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40 * time.Millisecond)
+	}
+	out := LatencyBars("serving latency", h.Snapshot(), 40)
+	if !strings.Contains(out, "serving latency  (n=100)") {
+		t.Fatalf("missing title/count:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 2 occupied buckets + quantile summary.
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	big, small := strings.Count(lines[1], "#"), strings.Count(lines[2], "#")
+	if big != 40 {
+		t.Fatalf("dominant bucket bar %d, want full width 40:\n%s", big, out)
+	}
+	if small < 1 || small >= big {
+		t.Fatalf("minor bucket bar %d not in (0, %d):\n%s", small, big, out)
+	}
+	if !strings.Contains(lines[3], "p50") || !strings.Contains(lines[3], "p99") || !strings.Contains(lines[3], "max") {
+		t.Fatalf("missing quantile summary:\n%s", out)
+	}
+}
+
+func TestLatencyBarsEmpty(t *testing.T) {
+	out := LatencyBars("nothing", metrics.HistogramSnapshot{}, 40)
+	if !strings.Contains(out, "(n=0)") || strings.Contains(out, "#") {
+		t.Fatalf("empty snapshot rendering:\n%s", out)
+	}
+}
+
+func TestDurLabelUnits(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond: "500µs",
+		2 * time.Millisecond:   "2ms",
+		3 * time.Second:        "3s",
+	}
+	for d, want := range cases {
+		if got := durLabel(d); got != want {
+			t.Fatalf("durLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -135,10 +135,13 @@ type groupKey struct {
 
 type batchGroup struct {
 	reqs []*pending
-	// gen increments on every flush so a stale MaxDelay timer (one whose
-	// batch was already size-flushed) becomes a no-op.
-	gen      uint64
-	timerSet bool
+	// gen is drawn from the server-wide genSeq when the group is created, so
+	// it is unique across every incarnation of every key. A MaxDelay timer
+	// captures its group's gen; after the batch is cut (and the group deleted
+	// from the map) a stale timer finds either no group or a later
+	// incarnation with a different gen, and becomes a no-op either way —
+	// it can never flush a newer group's batch early.
+	gen uint64
 }
 
 // Server is the batching inference server. Construct with NewServer,
@@ -150,7 +153,8 @@ type Server struct {
 
 	mu     sync.Mutex
 	groups map[groupKey]*batchGroup
-	depth  int // admitted-but-unfinished requests
+	genSeq uint64 // next group generation; never reused across incarnations
+	depth  int    // admitted-but-unfinished requests
 	closed bool
 
 	// dispatchers tracks flushes between taking a batch and handing it to
@@ -209,25 +213,27 @@ func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor)
 	}
 	if s.depth >= s.opts.QueueCap {
 		s.mu.Unlock()
-		s.opts.Stats.Rejected()
+		s.opts.Stats.Rejected(model)
 		return Response{}, ErrQueueFull
 	}
 	s.depth++
-	s.opts.Stats.Enqueued()
+	s.opts.Stats.Enqueued(model)
 	g := s.groups[key]
 	if g == nil {
-		g = &batchGroup{}
+		// A fresh incarnation: unique generation, and exactly one MaxDelay
+		// timer armed for its lifetime (the group is deleted when its batch
+		// is cut, so a later request starts a new incarnation + timer).
+		g = &batchGroup{gen: s.genSeq}
+		s.genSeq++
 		s.groups[key] = g
+		gen := g.gen
+		time.AfterFunc(s.opts.MaxDelay, func() { s.flushTimer(key, gen) })
 	}
 	g.reqs = append(g.reqs, p)
 	var cut []*pending
 	if len(g.reqs) >= s.opts.MaxBatch {
-		cut = s.takeLocked(g)
+		cut = s.takeLocked(key, g)
 		s.dispatchers.Add(1)
-	} else if !g.timerSet {
-		g.timerSet = true
-		gen := g.gen
-		time.AfterFunc(s.opts.MaxDelay, func() { s.flushTimer(key, gen) })
 	}
 	s.mu.Unlock()
 
@@ -241,7 +247,7 @@ func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor)
 	case <-ctx.Done():
 		if p.state.CompareAndSwap(stateQueued, stateCanceled) {
 			// We won the claim: the executor will skip this request.
-			s.opts.Stats.Canceled()
+			s.opts.Stats.Canceled(model)
 			s.mu.Lock()
 			s.depth--
 			s.mu.Unlock()
@@ -250,12 +256,14 @@ func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor)
 	}
 }
 
-// takeLocked cuts the group's current batch; the caller holds s.mu.
-func (s *Server) takeLocked(g *batchGroup) []*pending {
+// takeLocked cuts the group's current batch and deletes the group from the
+// queue map — a group only lives while it holds queued requests, so the map
+// stays bounded by live groups instead of growing with every distinct
+// (model, H, W) key ever seen. The caller holds s.mu.
+func (s *Server) takeLocked(key groupKey, g *batchGroup) []*pending {
 	batch := g.reqs
 	g.reqs = nil
-	g.gen++
-	g.timerSet = false
+	delete(s.groups, key)
 	return batch
 }
 
@@ -264,11 +272,11 @@ func (s *Server) flushTimer(key groupKey, gen uint64) {
 	s.mu.Lock()
 	g := s.groups[key]
 	if g == nil || g.gen != gen || len(g.reqs) == 0 {
-		// Already flushed (by size, a newer timer, or Close).
+		// Already flushed (by size or Close), or a later incarnation.
 		s.mu.Unlock()
 		return
 	}
-	batch := s.takeLocked(g)
+	batch := s.takeLocked(key, g)
 	s.dispatchers.Add(1)
 	s.mu.Unlock()
 	s.dispatch(key, batch)
@@ -308,7 +316,7 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 		stopLoad()
 	}
 	if err != nil {
-		s.fail(claimed, fmt.Errorf("serve: model %q: %w", key.model, err))
+		s.fail(key.model, claimed, fmt.Errorf("serve: model %q: %w", key.model, err))
 		return
 	}
 
@@ -327,10 +335,10 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 		stopFwd()
 	}
 	if err != nil {
-		s.fail(claimed, err)
+		s.fail(key.model, claimed, err)
 		return
 	}
-	s.opts.Stats.BatchDone(len(claimed), exec)
+	s.opts.Stats.BatchDone(key.model, len(claimed), exec)
 
 	s.mu.Lock()
 	s.depth -= len(claimed)
@@ -344,17 +352,17 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 			Queued:    start.Sub(p.enqueued),
 			Total:     time.Since(p.enqueued),
 		}
-		s.opts.Stats.Completed(resp.Queued, resp.Total)
+		s.opts.Stats.Completed(key.model, resp.Queued, resp.Total)
 		p.done <- result{resp: resp}
 	}
 }
 
-func (s *Server) fail(claimed []*pending, err error) {
+func (s *Server) fail(model string, claimed []*pending, err error) {
 	s.mu.Lock()
 	s.depth -= len(claimed)
 	s.mu.Unlock()
 	for _, p := range claimed {
-		s.opts.Stats.Failed()
+		s.opts.Stats.Failed(model)
 		p.done <- result{err: err}
 	}
 }
@@ -385,7 +393,7 @@ func (s *Server) Close() {
 	var cuts []cutBatch
 	for key, g := range s.groups {
 		if len(g.reqs) > 0 {
-			cuts = append(cuts, cutBatch{key, s.takeLocked(g)})
+			cuts = append(cuts, cutBatch{key, s.takeLocked(key, g)})
 			s.dispatchers.Add(1)
 		}
 	}

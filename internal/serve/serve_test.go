@@ -349,6 +349,124 @@ func TestCloseIsIdempotent(t *testing.T) {
 	wg.Wait()
 }
 
+// groupCount reads the live size of the batching queue map.
+func groupCount(s *Server) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.groups)
+}
+
+// TestGroupsDoNotLeak is the regression test for the unbounded-queue-map bug:
+// empty batchGroup entries used to stay in s.groups forever, one per distinct
+// (model, H, W) ever seen, so a client cycling spatial sizes grew the map
+// without bound. A group must now live only while it holds queued requests.
+func TestGroupsDoNotLeak(t *testing.T) {
+	loader, loads := testLoader(t)
+	stats := &metrics.ServingStats{}
+	s := NewServer(loader, Options{
+		MaxBatch: 64, MaxDelay: time.Millisecond, QueueCap: 1 << 20, Stats: stats,
+	})
+	defer s.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	const distinct = 10000
+	for i := 0; i < distinct; i++ {
+		// 10k distinct (H, W) keys; the pre-canceled context means Submit
+		// returns immediately and the executor never claims anything, so this
+		// sweep is pure queue-map churn.
+		h, w := 1+i%100, 1+i/100
+		if _, err := s.Submit(canceled, "m", tensor.New(1, h, w)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit %d: err %v, want context.Canceled", i, err)
+		}
+	}
+	// Before the fix every key ever seen stayed in the map forever (the drain
+	// below would sit at 10000); now each group is deleted when its MaxDelay
+	// timer cuts it, so the map empties once the in-flight timers fire.
+	waitFor(t, func() bool { return groupCount(s) == 0 })
+	if n := loads.Load(); n != 0 {
+		t.Fatalf("canceled-only traffic loaded models %d times", n)
+	}
+	snap := stats.Snapshot()
+	if snap.Canceled != distinct || snap.QueueDepth != 0 {
+		t.Fatalf("canceled=%d depth=%d, want %d/0 (%s)", snap.Canceled, snap.QueueDepth, distinct, snap)
+	}
+}
+
+// TestGroupsDeletedAfterServing checks the live-traffic side of the same
+// invariant: served groups leave the map too, and a reused key gets a fresh
+// incarnation that still serves correctly.
+func TestGroupsDeletedAfterServing(t *testing.T) {
+	loader, _ := testLoader(t)
+	s := NewServer(loader, Options{MaxBatch: 64, MaxDelay: time.Millisecond})
+	defer s.Close()
+
+	for round := 0; round < 3; round++ {
+		for shape := 0; shape < 4; shape++ {
+			size := 8 + 4*shape
+			in := tensor.RandNormal(tensor.NewRNG(uint64(round*10+shape)), 1, 3, size, size)
+			if _, err := s.Submit(context.Background(), "m", in); err != nil {
+				t.Fatalf("round %d shape %d: %v", round, shape, err)
+			}
+		}
+		// Every submitted request has been answered, so every group was cut
+		// and deleted — nothing waits for a timer here.
+		if n := groupCount(s); n != 0 {
+			t.Fatalf("round %d: %d groups linger after all responses", round, n)
+		}
+	}
+}
+
+// TestStaleTimerCannotFlushLaterIncarnation pins the generation guard: a
+// MaxDelay timer armed for one incarnation of a key must be a no-op against a
+// later incarnation, even though both lived under the same (model, H, W).
+func TestStaleTimerCannotFlushLaterIncarnation(t *testing.T) {
+	loader, _ := testLoader(t)
+	s := NewServer(loader, Options{MaxBatch: 64, MaxDelay: time.Minute})
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), "m", testInput(1))
+		done <- err
+	}()
+	key := groupKey{model: "m", h: 16, w: 16}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.groups[key] != nil
+	})
+	s.mu.Lock()
+	gen := s.groups[key].gen
+	s.mu.Unlock()
+
+	// A stale generation (as a timer from a previous incarnation would carry)
+	// must not cut the batch.
+	s.flushTimer(key, gen+1)
+	if groupCount(s) != 1 {
+		t.Fatal("stale-generation flush cut a live group")
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("request served by stale flush (err=%v)", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	// The matching generation flushes it.
+	s.flushTimer(key, gen)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("matching-generation flush did not serve the request")
+	}
+	if groupCount(s) != 0 {
+		t.Fatalf("%d groups after flush", groupCount(s))
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
