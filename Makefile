@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-smoke obs-smoke
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke
 
 ci: vet build test race crash-resume fuzz bench-smoke obs-smoke
 
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/...
+	$(GO) test -race ./internal/serve/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -49,6 +49,7 @@ fuzz:
 # and the batch-1 fused-inference path.
 KBENCH_TENSOR = ^(BenchmarkMM256|BenchmarkMM512|BenchmarkMMWide|BenchmarkGEMMKernelOnly)$$
 KBENCH_ROOT   = ^(BenchmarkAblation_ConvParallelism|BenchmarkTrainingStep|BenchmarkAblation_BNFolding)$$
+IBENCH        = ^(BenchmarkInterpretedBatch1|BenchmarkCompiledBatch1|BenchmarkInterpretedBatch8|BenchmarkCompiledBatch8)$$
 
 # Appends one run record (ns/op + GFLOP/s per shape, plus machine/kernel
 # metadata) to the checked-in BENCH_kernels.json trajectory.
@@ -57,11 +58,19 @@ bench-kernels:
 	  $(GO) test -run='^$$' -bench '$(KBENCH_ROOT)' . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_kernels.json
 
+# Compiled-plan inference trajectory: interpreted vs compiled forwards at
+# batch 1 and batch 8, with -benchmem so allocs/op and B/op land in the
+# record (the compiled path's arena claim is "steady-state allocs ≈ 0").
+bench-infer:
+	$(GO) test -run='^$$' -bench '$(IBENCH)' -benchmem ./internal/infer \
+	  | $(GO) run ./cmd/benchjson -out BENCH_infer.json
+
 # CI stage: build the benchmarks and run each selected kernel benchmark once
 # (-benchtime=1x), through the same JSON harness, without touching the
 # checked-in trajectory.
 bench-smoke:
 	{ $(GO) test -run='^$$' -bench '$(KBENCH_TENSOR)' -benchtime=1x ./internal/tensor && \
-	  $(GO) test -run='^$$' -bench '$(KBENCH_ROOT)' -benchtime=1x . ; } \
+	  $(GO) test -run='^$$' -bench '$(KBENCH_ROOT)' -benchtime=1x . && \
+	  $(GO) test -run='^$$' -bench '$(IBENCH)' -benchtime=1x -benchmem ./internal/infer ; } \
 	  | $(GO) run ./cmd/benchjson -out .bench_smoke.json -note ci-smoke
 	rm -f .bench_smoke.json

@@ -101,11 +101,13 @@ func main() {
 		fmt.Printf("written to %s\n", *out)
 	}
 
-	rt, err := infer.Load(bytes.NewReader(buf.Bytes()))
+	plan, err := infer.LoadPlan(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
 	}
-	fmt.Printf("runtime loaded: %s (%d input channels)\n\n", rt.GraphName(), rt.InputChannels())
+	fmt.Printf("plan compiled: %s (%d input channels, %d ops)\n\n",
+		plan.Name(), plan.InputChannels(), plan.OpCount())
+	sess := plan.NewSession()
 
 	// Agreement check over a batch spread across the corpus (it is ordered
 	// by region and label, so strided sampling mixes both classes).
@@ -119,7 +121,7 @@ func main() {
 	}
 	probe, probeLabels := data.Batch(probeIdx)
 	modelPreds := tensor.ArgMaxRows(model.Forward(probe, false))
-	rtPreds, err := rt.Classify(probe)
+	rtPreds, err := sess.Classify(probe)
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
 	}
@@ -138,12 +140,14 @@ func main() {
 	}
 	fmt.Printf("runtime accuracy on probe batch: %d/%d\n\n", correct, len(rtPreds))
 
-	// Batch-1 CPU timing next to the device predictions.
+	// Batch-1 CPU timing next to the device predictions. The session's
+	// activation arena is warm after the first rep, so this measures the
+	// zero-alloc steady state a pinned edge deployment sees.
 	single, _ := data.Batch([]int{0})
 	const reps = 10
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := rt.Forward(single); err != nil {
+		if _, err := sess.Forward(single); err != nil {
 			log.Fatalf("deploy: %v", err)
 		}
 	}
@@ -186,7 +190,7 @@ func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts 
 		opts.requests, opts.clients, opts.maxBatch, opts.maxDelay)
 	stats := &metrics.ServingStats{}
 	srv := serve.NewServer(
-		func(key string) (*infer.Runtime, error) { return infer.Load(bytes.NewReader(container)) },
+		func(key string) (*infer.Plan, error) { return infer.LoadPlan(bytes.NewReader(container)) },
 		serve.Options{
 			MaxBatch: opts.maxBatch, MaxDelay: opts.maxDelay,
 			QueueCap: opts.queueCap, Stats: stats,

@@ -34,7 +34,7 @@ func TestDeployBinarySmoke(t *testing.T) {
 	text := string(out)
 	for _, want := range []string{
 		"exported container:",
-		"runtime loaded:",
+		"plan compiled:",
 		"prediction agreement (runtime vs training model):",
 		"host CPU inference",
 		"load test: 24 requests",

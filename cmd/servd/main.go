@@ -6,21 +6,28 @@
 // bounded queue, batched per (model, spatial size), and executed on a
 // worker pool through the standalone inference runtime.
 //
-// API:
+// API (canonical paths under /v1/; /healthz and /metrics remain as
+// unversioned aliases for probes and scrapers configured before the move):
 //
 //	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...]}
 //	                   -> {"model","class","logits","batch_size",
 //	                       "queued_ms","total_ms"}
-//	GET  /v1/stats     serving counters + model cache + GEMM kernel counters
-//	GET  /metrics      the same counters in Prometheus text exposition
+//	GET  /v1/stats     serving counters + model cache + infer plan/session
+//	                   counters + GEMM kernel counters
+//	GET  /v1/metrics   the same counters in Prometheus text exposition
 //	                   format, including latency histograms and quantiles
-//	GET  /healthz      liveness + available models; 503 "degraded" when the
+//	GET  /v1/healthz   liveness + available models; 503 "degraded" when the
 //	                   model directory is unreadable
 //	GET  /debug/pprof/ runtime profiles (only with -pprof)
 //
-// Backpressure maps to transport codes: a full queue answers 429, a closed
-// server 503, an unknown model 404. Every response carries an X-Request-ID
-// (honoring an incoming one) and is access-logged with its latency.
+// Errors share one JSON envelope with a stable machine-readable code:
+//
+//	{"error":{"code":"queue_full","message":"...","request_id":"..."}}
+//
+// Codes: bad_input (400), model_not_found (404), queue_full (429, with
+// Retry-After), shutting_down (503), canceled (503), internal (500).
+// Every response carries an X-Request-ID (honoring an incoming one) and is
+// access-logged with its latency.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
 // requests for up to -drain, closes the serving core (flushing pending
@@ -192,8 +199,8 @@ func registerPprof(mux *http.ServeMux) {
 // newDirLoader maps model keys to container files under dir. A key is the
 // file's base name with or without the .dnnx extension; path traversal is
 // rejected.
-func newDirLoader(dir string) func(key string) (*infer.Runtime, error) {
-	return func(key string) (*infer.Runtime, error) {
+func newDirLoader(dir string) func(key string) (*infer.Plan, error) {
+	return func(key string) (*infer.Plan, error) {
 		if key == "" {
 			return nil, fmt.Errorf("empty model key: %w", fs.ErrNotExist)
 		}
@@ -209,7 +216,7 @@ func newDirLoader(dir string) func(key string) (*infer.Runtime, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return infer.Load(f)
+		return infer.LoadPlan(f)
 	}
 }
 
@@ -249,7 +256,9 @@ type predictResponse struct {
 const maxBodyBytes = 64 << 20
 
 // newAPI builds the HTTP handler over a serving core. Split from main so
-// tests drive it in-process.
+// tests drive it in-process. Canonical paths live under /v1/; /healthz and
+// /metrics are kept as aliases so existing probes and scrape configs keep
+// working.
 func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -257,30 +266,30 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 		var req predictRequest
 		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			httpError(w, http.StatusBadRequest, codeBadInput, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		input, err := requestTensor(req)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			httpError(w, http.StatusBadRequest, codeBadInput, err.Error())
 			return
 		}
 		resp, err := srv.Submit(r.Context(), req.Model, input)
 		if err != nil {
-			status := http.StatusInternalServerError
+			status, code := http.StatusInternalServerError, codeInternal
 			switch {
 			case errors.Is(err, serve.ErrQueueFull):
-				status = http.StatusTooManyRequests
+				status, code = http.StatusTooManyRequests, codeQueueFull
 				w.Header().Set("Retry-After", "1")
 			case errors.Is(err, serve.ErrClosed):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, fs.ErrNotExist):
-				status = http.StatusNotFound
+				status, code = http.StatusServiceUnavailable, codeShuttingDown
+			case errors.Is(err, serve.ErrModelNotFound):
+				status, code = http.StatusNotFound, codeModelNotFound
 			case errors.Is(err, r.Context().Err()):
 				// Client went away; the status is moot but 503 is honest.
-				status = http.StatusServiceUnavailable
+				status, code = http.StatusServiceUnavailable, codeCanceled
 			}
-			httpError(w, status, err.Error())
+			httpError(w, status, code, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, predictResponse{
@@ -298,23 +307,27 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			"serving": srv.Stats().Snapshot(),
 			"cache":   srv.Cache().Stats(),
 			"queue":   srv.QueueDepth(),
+			"infer":   metrics.Infer.Snapshot(),
 			"kernel":  metrics.Kernel.Snapshot(),
 			"gemm":    tensor.GemmKernelName(),
 		})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handleMetrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		e := metrics.NewExpositionWriter(w)
 		srv.Stats().Snapshot().WriteProm(e)
 		writeCacheProm(e, srv.Cache().Stats())
+		metrics.Infer.Snapshot().WriteProm(e)
 		metrics.Kernel.Snapshot().WriteProm(e)
 		if err := e.Flush(); err != nil {
 			log.Printf("servd: writing /metrics: %v", err)
 		}
-	})
+	}
+	mux.HandleFunc("GET /v1/metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics", handleMetrics)
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handleHealthz := func(w http.ResponseWriter, r *http.Request) {
 		keys, err := listModels(modelDir)
 		if err != nil {
 			// An unreadable model directory means every predict will 404 or
@@ -329,7 +342,9 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			"status": "ok",
 			"models": keys,
 		})
-	})
+	}
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /healthz", handleHealthz)
 
 	return mux
 }
@@ -365,8 +380,37 @@ func requestTensor(req predictRequest) (*tensor.Tensor, error) {
 	return tensor.FromSlice(req.Data, req.Shape...), nil
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// Stable machine-readable error codes; clients branch on these, the message
+// is for humans. Documented in the README endpoint table — adding a code is
+// fine, renaming one is a breaking change.
+const (
+	codeBadInput      = "bad_input"
+	codeModelNotFound = "model_not_found"
+	codeQueueFull     = "queue_full"
+	codeShuttingDown  = "shutting_down"
+	codeCanceled      = "canceled"
+	codeInternal      = "internal"
+)
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// httpError writes the unified error envelope. The request ID comes from the
+// X-Request-ID response header that withAccessLog stamps before the handler
+// runs, so the body matches what the client can quote back from the header.
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:      code,
+		Message:   msg,
+		RequestID: w.Header().Get("X-Request-ID"),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

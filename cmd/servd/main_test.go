@@ -191,6 +191,137 @@ func TestAPIErrorMapping(t *testing.T) {
 	}
 }
 
+// TestErrorEnvelope pins the unified error body: every failure mode answers
+// {"error":{"code","message","request_id"}} with a stable machine-readable
+// code and the same request ID the X-Request-ID response header carries.
+func TestErrorEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	ts := httptest.NewServer(withAccessLog(newAPI(srv, dir)))
+	defer ts.Close()
+
+	postEnvelope := func(body []byte) (int, http.Header, errorEnvelope) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("error body is not the envelope: %v", err)
+		}
+		if env.Error.Message == "" {
+			t.Fatalf("envelope without message: %+v", env)
+		}
+		if env.Error.RequestID == "" || env.Error.RequestID != resp.Header.Get("X-Request-ID") {
+			t.Fatalf("envelope request_id %q vs header %q", env.Error.RequestID, resp.Header.Get("X-Request-ID"))
+		}
+		return resp.StatusCode, resp.Header, env
+	}
+
+	if status, _, env := postEnvelope([]byte("{not json")); status != http.StatusBadRequest || env.Error.Code != "bad_input" {
+		t.Fatalf("bad json -> %d %q", status, env.Error.Code)
+	}
+	if status, _, env := postEnvelope(predictBody(t, cfg, "ghost")); status != http.StatusNotFound || env.Error.Code != "model_not_found" {
+		t.Fatalf("unknown model -> %d %q", status, env.Error.Code)
+	}
+	srv.Close()
+	if status, _, env := postEnvelope(predictBody(t, cfg, "tiny")); status != http.StatusServiceUnavailable || env.Error.Code != "shutting_down" {
+		t.Fatalf("closed server -> %d %q", status, env.Error.Code)
+	}
+}
+
+// TestErrorEnvelopeQueueFull fills a capacity-1 queue and checks the
+// overflow answer: 429, code queue_full, and a Retry-After hint.
+func TestErrorEnvelopeQueueFull(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	// MaxDelay/MaxBatch hold the first request in the queue for the test's
+	// lifetime; srv.Close flushes it so the blocked poster below finishes.
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{
+		MaxBatch: 64, MaxDelay: time.Minute, QueueCap: 1,
+	})
+	ts := httptest.NewServer(withAccessLog(newAPI(srv, dir)))
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+			bytes.NewReader(predictBody(t, cfg, "tiny")))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader(predictBody(t, cfg, "tiny")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow -> %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "queue_full" {
+		t.Fatalf("overflow code %q, want queue_full", env.Error.Code)
+	}
+	srv.Close()
+	<-done
+}
+
+// TestV1Aliases checks the canonical /v1/ paths and their unversioned
+// aliases serve identical content.
+func TestV1Aliases(t *testing.T) {
+	dir := t.TempDir()
+	writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(newAPI(srv, dir))
+	defer ts.Close()
+
+	for _, paths := range [][2]string{
+		{"/v1/healthz", "/healthz"},
+		{"/v1/metrics", "/metrics"},
+	} {
+		var bodies [2][]byte
+		for i, p := range paths {
+			resp, err := http.Get(ts.URL + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s -> %d", p, resp.StatusCode)
+			}
+			bodies[i] = b
+		}
+		if !bytes.Equal(bodies[0], bodies[1]) {
+			t.Fatalf("%s and %s disagree:\n%s\n---\n%s", paths[0], paths[1], bodies[0], bodies[1])
+		}
+	}
+}
+
 // TestHealthzDegradedOnUnreadableModels is the regression test for /healthz
 // reporting ok when the model directory cannot be read: that server answers
 // 404/500 to every predict and must not pass a readiness probe.

@@ -14,17 +14,18 @@ type Prediction struct {
 	Class int
 }
 
-// RunBatch executes the model over a set of independent single-image
-// inputs, stacking them along the batch dimension so the per-call overhead
-// of conv/matmul dispatch amortizes across the batch. Each input is either
+// RunBatch executes the plan over a set of independent single-image inputs,
+// stacking them along the batch dimension so the per-call overhead of
+// conv/matmul dispatch amortizes across the batch. Each input is either
 // (C, H, W) or (1, C, H, W); inputs with the same spatial size are stacked
 // into one forward pass, and inputs with differing sizes are grouped so
 // every group runs as one stacked batch. Results come back in input order.
 //
 // RunBatch is the serving-side entry point: the batcher in internal/serve
-// feeds it whole flush batches. It is safe for concurrent use — Runtime
-// holds no mutable forward state.
-func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
+// feeds it whole flush batches. It is safe for concurrent use — each call
+// draws a pooled session, and the per-request logits are copied out of the
+// session arena before the session is returned.
+func (p *Plan) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
 	if len(inputs) == 0 {
 		return nil, nil
 	}
@@ -49,8 +50,8 @@ func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
 		default:
 			return nil, fmt.Errorf("infer: batch input %d must be (C,H,W) or (1,C,H,W), got %v", i, in.Shape())
 		}
-		if c != rt.inC {
-			return nil, fmt.Errorf("infer: batch input %d has %d channels, model wants %d", i, c, rt.inC)
+		if c != p.inC {
+			return nil, fmt.Errorf("infer: batch input %d has %d channels, model wants %d", i, c, p.inC)
 		}
 		key := [2]int{h, w}
 		g, ok := groups[key]
@@ -61,16 +62,18 @@ func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
 		}
 		g.idx = append(g.idx, i)
 	}
+	sess := p.getSession()
+	defer p.putSession(sess)
 	out := make([]Prediction, len(inputs))
 	for _, key := range order {
 		g := groups[key]
 		h, w := key[0], key[1]
-		plane := rt.inC * h * w
-		x := tensor.New(len(g.idx), rt.inC, h, w)
+		plane := p.inC * h * w
+		x := tensor.New(len(g.idx), p.inC, h, w)
 		for bi, i := range g.idx {
 			copy(x.Data()[bi*plane:(bi+1)*plane], inputs[i].Data())
 		}
-		logits, err := rt.Forward(x)
+		logits, err := sess.Forward(x)
 		if err != nil {
 			return nil, err
 		}
@@ -83,4 +86,11 @@ func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
 		}
 	}
 	return out, nil
+}
+
+// RunBatch executes the model over independent single-image inputs.
+//
+// Compatibility wrapper over Plan.RunBatch.
+func (rt *Runtime) RunBatch(inputs []*tensor.Tensor) ([]Prediction, error) {
+	return rt.plan.RunBatch(inputs)
 }

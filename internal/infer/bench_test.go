@@ -1,0 +1,110 @@
+package infer
+
+import (
+	"bytes"
+	"testing"
+
+	"drainnas/internal/onnxsize"
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+// benchConfig is a paper-space stem over a small backbone: big enough that
+// the GEMM path engages, small enough that -benchtime=1x CI smoke runs are
+// instant.
+var benchConfig = resnet.Config{
+	Channels: 5, Batch: 8, KernelSize: 7, Stride: 2, Padding: 3,
+	PoolChoice: 1, KernelSizePool: 3, StridePool: 2,
+	InitialOutputFeature: 16, NumClasses: 2,
+}
+
+func benchContainer(b *testing.B) []byte {
+	b.Helper()
+	rng := tensor.NewRNG(41)
+	m, err := resnet.New(benchConfig, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := onnxsize.Export(m, &buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchInput(batch int) *tensor.Tensor {
+	return tensor.RandNormal(tensor.NewRNG(9), 1, batch, benchConfig.Channels, 32, 32)
+}
+
+// BenchmarkInterpretedBatch1 is the "before" number: the per-call graph
+// interpreter, which re-resolves topology, runs BN as its own pass and
+// allocates a tensor per op.
+func BenchmarkInterpretedBatch1(b *testing.B) {
+	rt, err := Load(bytes.NewReader(benchContainer(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.forwardInterpreted(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledBatch1 is the "after" number: the compiled plan through a
+// warm session (arena built, weights packed).
+func BenchmarkCompiledBatch1(b *testing.B) {
+	plan, err := LoadPlan(bytes.NewReader(benchContainer(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := plan.NewSession()
+	x := benchInput(1)
+	if _, err := sess.Forward(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpretedBatch8(b *testing.B) {
+	rt, err := Load(bytes.NewReader(benchContainer(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.forwardInterpreted(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledBatch8(b *testing.B) {
+	plan, err := LoadPlan(bytes.NewReader(benchContainer(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := plan.NewSession()
+	x := benchInput(8)
+	if _, err := sess.Forward(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

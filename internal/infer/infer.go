@@ -1,36 +1,24 @@
-// Package infer is the deployment-side inference runtime: it loads a model
-// container exported by onnxsize (graph description + trained weights) and
-// executes it on CPU with no dependency on the training stack — the role a
-// TFLite/OpenVINO runtime plays on the paper's resource-limited devices.
-//
-// The executor understands the operator vocabulary the exporter emits
-// (Conv, BatchNormalization, Relu, MaxPool, Add, GlobalAveragePool, Gemm)
-// and reconstructs the residual topology from the exporter's naming
-// convention: a node named layerS.B.conv1 opens a residual block whose
-// input feeds the block's Add, optionally through a layerS.B.down.*
-// projection.
 package infer
 
 import (
 	"fmt"
 	"io"
-	"math"
-	"strings"
 
 	"drainnas/internal/onnxsize"
 	"drainnas/internal/tensor"
 )
 
-// Runtime executes one loaded model.
+// Runtime executes one loaded model. It is a thin compatibility wrapper over
+// a compiled Plan: Load/FromDecoded compile the container eagerly, and the
+// Forward/Classify/RunBatch methods delegate to the plan's pooled sessions.
+// New code should use Compile/LoadPlan and Plan/Session directly — see the
+// package documentation for the migration sketch.
 type Runtime struct {
-	graph   onnxsize.GraphSpec
-	weights map[string][]float32
-	// inC is the expected input channel count, inferred from conv1's
-	// weight dims.
-	inC int
+	dec  *onnxsize.Decoded
+	plan *Plan
 }
 
-// Load parses a container and prepares it for execution.
+// Load parses a container and compiles it for execution.
 func Load(r io.Reader) (*Runtime, error) {
 	dec, err := onnxsize.Decode(r)
 	if err != nil {
@@ -39,238 +27,37 @@ func Load(r io.Reader) (*Runtime, error) {
 	return FromDecoded(dec)
 }
 
-// FromDecoded wraps an already-decoded container.
+// FromDecoded compiles an already-decoded container.
 func FromDecoded(dec *onnxsize.Decoded) (*Runtime, error) {
-	rt := &Runtime{graph: dec.Graph, weights: dec.Weights}
-	w, ok := rt.weights["conv1.weight"]
-	if !ok {
-		return nil, fmt.Errorf("infer: container has no conv1.weight")
+	plan, err := Compile(dec)
+	if err != nil {
+		return nil, err
 	}
-	dims := rt.initializerDims("conv1.weight")
-	if len(dims) != 4 {
-		return nil, fmt.Errorf("infer: conv1.weight has dims %v", dims)
-	}
-	for _, d := range dims {
-		if d <= 0 {
-			return nil, fmt.Errorf("infer: conv1.weight has non-positive dims %v", dims)
-		}
-	}
-	rt.inC = dims[1]
-	if len(w) != dims[0]*dims[1]*dims[2]*dims[3] {
-		return nil, fmt.Errorf("infer: conv1.weight payload/dims mismatch")
-	}
-	return rt, nil
+	return &Runtime{dec: dec, plan: plan}, nil
 }
+
+// Plan returns the compiled execution plan backing this runtime.
+func (rt *Runtime) Plan() *Plan { return rt.plan }
 
 // InputChannels returns the channel count the model expects.
-func (rt *Runtime) InputChannels() int { return rt.inC }
+func (rt *Runtime) InputChannels() int { return rt.plan.inC }
 
 // GraphName returns the container's graph name.
-func (rt *Runtime) GraphName() string { return rt.graph.Name }
+func (rt *Runtime) GraphName() string { return rt.plan.name }
 
-func (rt *Runtime) initializerDims(name string) []int {
-	for _, init := range rt.graph.Initializers {
-		if init.Name == name {
-			return init.Dims
-		}
-	}
-	return nil
-}
-
-func (rt *Runtime) tensorOf(name string, wantLen int) ([]float32, error) {
-	v, ok := rt.weights[name]
-	if !ok {
-		return nil, fmt.Errorf("infer: missing initializer %s", name)
-	}
-	if wantLen > 0 && len(v) != wantLen {
-		return nil, fmt.Errorf("infer: initializer %s has %d values, want %d", name, len(v), wantLen)
-	}
-	return v, nil
-}
-
-// Forward executes the graph on an (N, C, H, W) input, returning the
+// Forward executes the model on an (N, C, H, W) input, returning the
 // (N, classes) logits.
+//
+// Compatibility wrapper: it runs the compiled plan through a pooled session
+// and copies the logits out of the session arena. Callers on the latency
+// path should hold a Plan and a per-goroutine Session instead.
 func (rt *Runtime) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	if x.NDim() != 4 {
-		return nil, fmt.Errorf("infer: input must be (N,C,H,W), got %v", x.Shape())
-	}
-	if x.Dim(1) != rt.inC {
-		return nil, fmt.Errorf("infer: input has %d channels, model wants %d", x.Dim(1), rt.inC)
-	}
-	cur := x
-	var blockIn *tensor.Tensor // input of the residual block in flight
-	var mainPath *tensor.Tensor
-	var shortcut *tensor.Tensor
-	var err error
-
-	for _, node := range rt.graph.Nodes {
-		switch node.OpType {
-		case "Conv":
-			src := cur
-			if strings.HasSuffix(node.Name, ".conv1") && strings.HasPrefix(node.Name, "layer") {
-				// First conv of a residual block: remember the block input.
-				blockIn = cur
-				shortcut = nil
-			}
-			if strings.Contains(node.Name, ".down.") {
-				// Projection shortcut operates on the block input; stash the
-				// main path result first.
-				mainPath = cur
-				src = blockIn
-			}
-			cur, err = rt.conv(node, src)
-			if err != nil {
-				return nil, err
-			}
-		case "BatchNormalization":
-			cur, err = rt.batchNorm(node, cur)
-			if err != nil {
-				return nil, err
-			}
-			if strings.Contains(node.Name, ".down.") {
-				shortcut = cur
-				cur = mainPath
-			}
-		case "Relu":
-			cur = tensor.ReLU(cur)
-		case "MaxPool":
-			k := node.Attrs["kernel"]
-			s := node.Attrs["stride"]
-			pad := 0
-			if k >= 3 {
-				pad = 1
-			}
-			if k <= 0 || s <= 0 {
-				return nil, fmt.Errorf("infer: MaxPool %s with kernel=%d stride=%d", node.Name, k, s)
-			}
-			cur, _ = tensor.MaxPool2D(cur, k, s, pad)
-		case "Add":
-			sc := shortcut
-			if sc == nil {
-				sc = blockIn
-			}
-			if sc == nil {
-				return nil, fmt.Errorf("infer: Add %s without a block input", node.Name)
-			}
-			if !cur.SameShape(sc) {
-				return nil, fmt.Errorf("infer: Add %s shape mismatch %v vs %v", node.Name, cur.Shape(), sc.Shape())
-			}
-			cur = tensor.Add(cur, sc)
-			blockIn, shortcut, mainPath = nil, nil, nil
-		case "GlobalAveragePool":
-			cur = tensor.GlobalAvgPool2D(cur)
-		case "Gemm":
-			cur, err = rt.gemm(node, cur)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("infer: unsupported op %q (node %s)", node.OpType, node.Name)
-		}
-	}
-	if cur.NDim() != 2 {
-		return nil, fmt.Errorf("infer: graph ended with shape %v, want (N, classes)", cur.Shape())
-	}
-	return cur, nil
-}
-
-func (rt *Runtime) conv(node onnxsize.NodeSpec, x *tensor.Tensor) (*tensor.Tensor, error) {
-	dims := rt.initializerDims(node.Name + ".weight")
-	if len(dims) != 4 {
-		return nil, fmt.Errorf("infer: conv %s weight dims %v", node.Name, dims)
-	}
-	w, err := rt.tensorOf(node.Name+".weight", dims[0]*dims[1]*dims[2]*dims[3])
-	if err != nil {
-		return nil, err
-	}
-	k, s, p := node.Attrs["kernel"], node.Attrs["stride"], node.Attrs["pad"]
-	if k != dims[2] || k != dims[3] {
-		return nil, fmt.Errorf("infer: conv %s kernel attr %d vs weight dims %v", node.Name, k, dims)
-	}
-	if s <= 0 {
-		return nil, fmt.Errorf("infer: conv %s stride %d", node.Name, s)
-	}
-	if x.Dim(1) != dims[1] {
-		return nil, fmt.Errorf("infer: conv %s input channels %d, weight wants %d", node.Name, x.Dim(1), dims[1])
-	}
-	weight := tensor.FromSlice(w, dims...)
-	return tensor.Conv2D(x, weight, nil, s, p), nil
-}
-
-func (rt *Runtime) batchNorm(node onnxsize.NodeSpec, x *tensor.Tensor) (*tensor.Tensor, error) {
-	c := x.Dim(1)
-	gamma, err := rt.tensorOf(node.Name+".gamma", c)
-	if err != nil {
-		return nil, err
-	}
-	beta, err := rt.tensorOf(node.Name+".beta", c)
-	if err != nil {
-		return nil, err
-	}
-	mean, err := rt.tensorOf(node.Name+".running_mean", c)
-	if err != nil {
-		return nil, err
-	}
-	variance, err := rt.tensorOf(node.Name+".running_var", c)
-	if err != nil {
-		return nil, err
-	}
-	eps := float64(node.Attrs["epsilon_e9"]) * 1e-9
-	if eps <= 0 {
-		eps = 1e-5
-	}
-	n, _, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	plane := h * w
-	out := tensor.New(n, c, h, w)
-	for ch := 0; ch < c; ch++ {
-		invSD := 1.0 / math.Sqrt(float64(variance[ch])+eps)
-		scale := float32(float64(gamma[ch]) * invSD)
-		shift := float32(float64(beta[ch]) - float64(gamma[ch])*float64(mean[ch])*invSD)
-		for s := 0; s < n; s++ {
-			src := x.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
-			dst := out.Data()[(s*c+ch)*plane : (s*c+ch+1)*plane]
-			for i, v := range src {
-				dst[i] = v*scale + shift
-			}
-		}
-	}
-	return out, nil
-}
-
-func (rt *Runtime) gemm(node onnxsize.NodeSpec, x *tensor.Tensor) (*tensor.Tensor, error) {
-	dims := rt.initializerDims(node.Name + ".weight")
-	if len(dims) != 2 {
-		return nil, fmt.Errorf("infer: gemm %s weight dims %v", node.Name, dims)
-	}
-	out, in := dims[0], dims[1]
-	w, err := rt.tensorOf(node.Name+".weight", out*in)
-	if err != nil {
-		return nil, err
-	}
-	b, err := rt.tensorOf(node.Name+".bias", out)
-	if err != nil {
-		return nil, err
-	}
-	if x.NDim() != 2 || x.Dim(1) != in {
-		return nil, fmt.Errorf("infer: gemm %s input %v, want (N,%d)", node.Name, x.Shape(), in)
-	}
-	weight := tensor.FromSlice(w, out, in)
-	res := tensor.MatMul(x, tensor.Transpose2D(weight))
-	n := x.Dim(0)
-	for r := 0; r < n; r++ {
-		row := res.Data()[r*out : (r+1)*out]
-		for j := range row {
-			row[j] += b[j]
-		}
-	}
-	return res, nil
+	return rt.plan.Forward(x)
 }
 
 // Classify runs Forward and returns the argmax class per sample.
+//
+// Compatibility wrapper over Plan.Classify.
 func (rt *Runtime) Classify(x *tensor.Tensor) ([]int, error) {
-	logits, err := rt.Forward(x)
-	if err != nil {
-		return nil, err
-	}
-	return tensor.ArgMaxRows(logits), nil
+	return rt.plan.Classify(x)
 }

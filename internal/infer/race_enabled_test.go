@@ -1,0 +1,8 @@
+//go:build race
+
+package infer
+
+// raceEnabled reports that this binary was built with -race. The data-race
+// detector instruments allocations, so alloc-count assertions are meaningless
+// under it and skip themselves.
+const raceEnabled = true

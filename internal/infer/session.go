@@ -1,0 +1,211 @@
+package infer
+
+import (
+	"fmt"
+
+	"drainnas/internal/metrics"
+	"drainnas/internal/tensor"
+)
+
+// maxArenaElems bounds any single activation tensor a session will allocate,
+// guarding against adversarial containers whose huge padding or channel
+// attributes would otherwise explode intermediate shapes.
+const maxArenaElems = 1 << 28
+
+// Session is one plan executor: it owns the per-shape activation arenas a
+// forward pass writes into, so the steady state allocates nothing. Sessions
+// are cheap (arenas build lazily per input shape) but NOT safe for
+// concurrent use — give each goroutine its own, all sharing one Plan.
+type Session struct {
+	plan   *Plan
+	arenas map[arenaKey]*arena
+}
+
+type arenaKey struct{ n, h, w int }
+
+// arena holds the preallocated activation tensors for one (N, H, W) input
+// shape. Buffers are reused across values via compile-time liveness: a
+// value's backing slab is recycled for later outputs once its last reader
+// has run, with each op's output allocated before its inputs are freed so an
+// output never aliases an input.
+type arena struct {
+	vals []*tensor.Tensor // per value id; vals[0] stays nil (caller input)
+	// 4-D views over the FC input/output buffers, prebuilt so the pointwise
+	// conv path needs no per-call reshaping. Indexed by op position.
+	fcIn  []*tensor.Tensor
+	fcOut []*tensor.Tensor
+}
+
+// NewSession creates an executor for the plan.
+func (p *Plan) NewSession() *Session {
+	metrics.Infer.SessionCreated()
+	return &Session{plan: p, arenas: make(map[arenaKey]*arena)}
+}
+
+// Plan returns the plan this session executes.
+func (s *Session) Plan() *Plan { return s.plan }
+
+// Forward executes the plan on an (N, C, H, W) input. The returned
+// (N, classes) logits tensor is owned by the session's arena: it stays valid
+// until the session's next Forward call. Callers that need the logits past
+// that point must copy them (Plan.Forward does).
+func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.NDim() != 4 {
+		return nil, fmt.Errorf("infer: input must be (N,C,H,W), got %v", x.Shape())
+	}
+	if x.Dim(1) != s.plan.inC {
+		return nil, fmt.Errorf("infer: input has %d channels, model wants %d", x.Dim(1), s.plan.inC)
+	}
+	key := arenaKey{n: x.Dim(0), h: x.Dim(2), w: x.Dim(3)}
+	ar := s.arenas[key]
+	if ar == nil {
+		var err error
+		ar, err = s.plan.buildArena(key)
+		if err != nil {
+			return nil, err
+		}
+		s.arenas[key] = ar
+		metrics.Infer.ArenaMiss()
+	} else {
+		metrics.Infer.ArenaHit()
+	}
+
+	p := s.plan
+	for idx := range p.ops {
+		op := &p.ops[idx]
+		in := ar.vals[op.in]
+		if op.in == 0 {
+			in = x
+		}
+		out := ar.vals[op.out]
+		switch op.kind {
+		case opConv:
+			op.conv.ForwardInto(out, in)
+		case opRelu:
+			tensor.ReLUInto(out, in)
+		case opMaxPool:
+			tensor.MaxPool2DInto(out, in, op.kernel, op.stride, op.pad)
+		case opAdd:
+			in2 := ar.vals[op.in2]
+			if op.in2 == 0 {
+				in2 = x
+			}
+			if op.relu {
+				tensor.AddReLUInto(out, in, in2)
+			} else {
+				tensor.AddInto(out, in, in2)
+			}
+		case opGlobalAvgPool:
+			tensor.GlobalAvgPool2DInto(out, in)
+		case opFC:
+			op.conv.ForwardInto(ar.fcOut[idx], ar.fcIn[idx])
+		}
+	}
+	return ar.vals[p.outVal], nil
+}
+
+// Classify runs Forward and returns the argmax class per sample.
+func (s *Session) Classify(x *tensor.Tensor) ([]int, error) {
+	logits, err := s.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgMaxRows(logits), nil
+}
+
+// buildArena runs shape inference for one input shape and preallocates every
+// activation. This is the only allocating step of the compiled path; it runs
+// once per (session, input shape). All spatial validation lives here — after
+// a successful build, executing the ops for the same input shape cannot
+// fail.
+func (p *Plan) buildArena(key arenaKey) (*arena, error) {
+	if key.n <= 0 || key.h <= 0 || key.w <= 0 {
+		return nil, fmt.Errorf("infer: input shape [%d %d %d %d] has non-positive dims", key.n, p.inC, key.h, key.w)
+	}
+	shapes := make([][]int, p.numVals)
+	shapes[0] = []int{key.n, p.inC, key.h, key.w}
+	ar := &arena{
+		vals:  make([]*tensor.Tensor, p.numVals),
+		fcIn:  make([]*tensor.Tensor, len(p.ops)),
+		fcOut: make([]*tensor.Tensor, len(p.ops)),
+	}
+	// Free slabs, reusable for later values; smallest-fitting slab wins.
+	var free [][]float32
+	alloc := func(numel int) []float32 {
+		best := -1
+		for i, sl := range free {
+			if cap(sl) >= numel && (best < 0 || cap(free[best]) > cap(sl)) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			sl := free[best][:numel]
+			free[best] = free[len(free)-1]
+			free = free[:len(free)-1]
+			return sl
+		}
+		return make([]float32, numel)
+	}
+
+	for idx := range p.ops {
+		op := &p.ops[idx]
+		in := shapes[op.in]
+		var out []int
+		switch op.kind {
+		case opConv:
+			oh, ow := op.conv.OutSize(in[2], in[3])
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("infer: input %dx%d too small for conv %s", key.h, key.w, op.name)
+			}
+			out = []int{in[0], op.conv.OutChannels(), oh, ow}
+		case opRelu:
+			out = append([]int(nil), in...)
+		case opMaxPool:
+			oh := tensor.ConvOut(in[2], op.kernel, op.stride, op.pad)
+			ow := tensor.ConvOut(in[3], op.kernel, op.stride, op.pad)
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("infer: input %dx%d too small for pool %s", key.h, key.w, op.name)
+			}
+			out = []int{in[0], in[1], oh, ow}
+		case opAdd:
+			in2 := shapes[op.in2]
+			if len(in) != len(in2) {
+				return nil, fmt.Errorf("infer: Add %s rank mismatch %v vs %v", op.name, in, in2)
+			}
+			for d := range in {
+				if in[d] != in2[d] {
+					return nil, fmt.Errorf("infer: Add %s shape mismatch %v vs %v", op.name, in, in2)
+				}
+			}
+			out = append([]int(nil), in...)
+		case opGlobalAvgPool:
+			out = []int{in[0], in[1]}
+		case opFC:
+			out = []int{in[0], op.conv.OutChannels()}
+		}
+		numel := 1
+		for _, d := range out {
+			numel *= d
+			if numel <= 0 || numel > maxArenaElems {
+				return nil, fmt.Errorf("infer: op %s output shape %v exceeds the arena bound", op.name, out)
+			}
+		}
+		shapes[op.out] = out
+		ar.vals[op.out] = tensor.FromSlice(alloc(numel), out...)
+		if op.kind == opFC {
+			// op.in is never value 0 here: Compile requires a rank-2 input,
+			// and the caller input is rank 4.
+			ar.fcIn[idx] = tensor.FromSlice(ar.vals[op.in].Data(), in[0], in[1], 1, 1)
+			ar.fcOut[idx] = tensor.FromSlice(ar.vals[op.out].Data(), out[0], out[1], 1, 1)
+		}
+		// Recycle the slabs of values this op read for the last time. The
+		// output above was allocated first, so it can never share a slab with
+		// one of its own inputs.
+		for _, v := range []int{op.in, op.in2} {
+			if v > 0 && v != op.out && p.lastUse[v] == idx && (v != op.in2 || op.in2 != op.in) {
+				free = append(free, ar.vals[v].Data())
+			}
+		}
+	}
+	return ar, nil
+}

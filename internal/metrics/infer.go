@@ -1,0 +1,68 @@
+package metrics
+
+import "sync/atomic"
+
+// InferStats counts what the compiled inference runtime did: how many graph
+// containers were compiled into plans, how many execution sessions were
+// created, and how often a forward pass found a ready activation arena for
+// its input shape (hit) versus having to build one (miss). A healthy serving
+// steady state shows arena hits growing with traffic while compiles, session
+// creations and misses stay flat — each miss is a one-time allocation burst
+// for a new (batch, H, W) shape.
+type InferStats struct {
+	planCompiles atomic.Uint64
+	sessions     atomic.Uint64
+	arenaHits    atomic.Uint64
+	arenaMisses  atomic.Uint64
+}
+
+// Infer is the process-wide sink the inference runtime reports into.
+var Infer InferStats
+
+// PlanCompiled records one container compiled into an execution plan.
+func (s *InferStats) PlanCompiled() { s.planCompiles.Add(1) }
+
+// SessionCreated records one new execution session.
+func (s *InferStats) SessionCreated() { s.sessions.Add(1) }
+
+// ArenaHit records a forward pass reusing a prebuilt activation arena.
+func (s *InferStats) ArenaHit() { s.arenaHits.Add(1) }
+
+// ArenaMiss records a forward pass that had to build an arena for a
+// previously unseen input shape.
+func (s *InferStats) ArenaMiss() { s.arenaMisses.Add(1) }
+
+// InferSnapshot is a point-in-time copy of the inference-runtime counters.
+type InferSnapshot struct {
+	PlanCompiles uint64 `json:"plan_compiles"`
+	Sessions     uint64 `json:"sessions"`
+	ArenaHits    uint64 `json:"arena_hits"`
+	ArenaMisses  uint64 `json:"arena_misses"`
+}
+
+// Snapshot returns a copy of the counters. Each value is exact; the set is
+// approximately simultaneous, which is what a stats endpoint needs.
+func (s *InferStats) Snapshot() InferSnapshot {
+	return InferSnapshot{
+		PlanCompiles: s.planCompiles.Load(),
+		Sessions:     s.sessions.Load(),
+		ArenaHits:    s.arenaHits.Load(),
+		ArenaMisses:  s.arenaMisses.Load(),
+	}
+}
+
+// Reset zeroes all counters (test support).
+func (s *InferStats) Reset() {
+	s.planCompiles.Store(0)
+	s.sessions.Store(0)
+	s.arenaHits.Store(0)
+	s.arenaMisses.Store(0)
+}
+
+// WriteProm emits the counters in Prometheus text exposition format.
+func (s InferSnapshot) WriteProm(e *ExpositionWriter) {
+	e.Counter("drainnas_infer_plan_compiles_total", "Model containers compiled into execution plans.", float64(s.PlanCompiles))
+	e.Counter("drainnas_infer_sessions_total", "Inference sessions created.", float64(s.Sessions))
+	e.Counter("drainnas_infer_arena_hits_total", "Forward passes served by a prebuilt activation arena.", float64(s.ArenaHits))
+	e.Counter("drainnas_infer_arena_misses_total", "Forward passes that built an arena for a new input shape.", float64(s.ArenaMisses))
+}

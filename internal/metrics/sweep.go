@@ -83,7 +83,7 @@ type SweepSnapshot struct {
 	Retried   uint64 `json:"retried"`
 	Remaining int    `json:"remaining"`
 
-	MeanTrialMS float64       `json:"mean_trial_ms"`
+	MeanTrialMS float64 `json:"mean_trial_ms"`
 	// Trials is the per-trial wall-time distribution (succeeded and failed
 	// trials both count), the histogram behind the p50/p95/p99 summary the
 	// CLI prints at the end of a sweep.

@@ -89,8 +89,15 @@ func BuildGraphSpec(cfg resnet.Config) (GraphSpec, error) {
 	addBN("bn1", w[0])
 	addRelu("relu1")
 	if cfg.PoolChoice == 1 {
+		// The pad attribute mirrors resnet.New's convention (kernel >= 3 pads
+		// by 1, smaller kernels pad 0) so the runtime reads the real padding
+		// instead of guessing it back from the kernel size.
+		poolPad := 0
+		if cfg.KernelSizePool >= 3 {
+			poolPad = 1
+		}
 		g.Nodes = append(g.Nodes, NodeSpec{OpType: "MaxPool", Name: "maxpool",
-			Attrs: map[string]int{"kernel": cfg.KernelSizePool, "stride": cfg.StridePool}})
+			Attrs: map[string]int{"kernel": cfg.KernelSizePool, "stride": cfg.StridePool, "pad": poolPad}})
 	}
 
 	inC := w[0]

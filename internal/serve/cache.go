@@ -8,7 +8,7 @@ import (
 	"drainnas/internal/infer"
 )
 
-// ModelCache is an LRU cache of loaded inference runtimes keyed by
+// ModelCache is an LRU cache of compiled inference plans keyed by
 // architecture identity (in practice the container file name or the
 // resnet.Config.Key of the exported model). One server instance can then
 // serve several Pareto-front models while bounding resident weight memory —
@@ -20,7 +20,7 @@ import (
 type ModelCache struct {
 	mu      sync.Mutex
 	cap     int
-	loader  func(key string) (*infer.Runtime, error)
+	loader  func(key string) (*infer.Plan, error)
 	ll      *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
 
@@ -30,13 +30,13 @@ type ModelCache struct {
 type cacheEntry struct {
 	key  string
 	once sync.Once
-	rt   *infer.Runtime
+	plan *infer.Plan
 	err  error
 }
 
-// NewModelCache builds a cache holding at most capacity runtimes
+// NewModelCache builds a cache holding at most capacity plans
 // (minimum 1).
-func NewModelCache(capacity int, loader func(key string) (*infer.Runtime, error)) *ModelCache {
+func NewModelCache(capacity int, loader func(key string) (*infer.Plan, error)) *ModelCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -51,11 +51,11 @@ func NewModelCache(capacity int, loader func(key string) (*infer.Runtime, error)
 	}
 }
 
-// Get returns the runtime for key, loading it on first use and refreshing
+// Get returns the compiled plan for key, loading it on first use and refreshing
 // its recency. Eviction drops the least-recently-used entry; an evicted
 // entry still mid-load finishes loading for the goroutines already waiting
 // on it, it just stops being cached.
-func (c *ModelCache) Get(key string) (*infer.Runtime, error) {
+func (c *ModelCache) Get(key string) (*infer.Plan, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -63,7 +63,7 @@ func (c *ModelCache) Get(key string) (*infer.Runtime, error) {
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		e.once.Do(func() { e.load(c.loader) })
-		return e.rt, e.err
+		return e.plan, e.err
 	}
 	c.misses++
 	e := &cacheEntry{key: key}
@@ -88,16 +88,16 @@ func (c *ModelCache) Get(key string) (*infer.Runtime, error) {
 		}
 		c.mu.Unlock()
 	}
-	return e.rt, e.err
+	return e.plan, e.err
 }
 
-func (e *cacheEntry) load(loader func(string) (*infer.Runtime, error)) {
+func (e *cacheEntry) load(loader func(string) (*infer.Plan, error)) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.rt, e.err = nil, fmt.Errorf("serve: loading model %q panicked: %v", e.key, r)
+			e.plan, e.err = nil, fmt.Errorf("serve: loading model %q panicked: %v", e.key, r)
 		}
 	}()
-	e.rt, e.err = loader(e.key)
+	e.plan, e.err = loader(e.key)
 }
 
 // Len returns the number of cached entries.

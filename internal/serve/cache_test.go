@@ -68,11 +68,11 @@ func TestCacheFailedLoadIsRetried(t *testing.T) {
 	container := tinyContainer(t, 7)
 	var calls atomic.Int64
 	boom := errors.New("transient")
-	c := NewModelCache(2, func(key string) (*infer.Runtime, error) {
+	c := NewModelCache(2, func(key string) (*infer.Plan, error) {
 		if calls.Add(1) == 1 {
 			return nil, boom
 		}
-		return infer.Load(bytes.NewReader(container))
+		return infer.LoadPlan(bytes.NewReader(container))
 	})
 	if _, err := c.Get("a"); !errors.Is(err, boom) {
 		t.Fatalf("first get err %v, want transient error", err)
@@ -86,7 +86,7 @@ func TestCacheFailedLoadIsRetried(t *testing.T) {
 }
 
 func TestCachePanickingLoaderIsContained(t *testing.T) {
-	c := NewModelCache(1, func(key string) (*infer.Runtime, error) {
+	c := NewModelCache(1, func(key string) (*infer.Plan, error) {
 		panic("loader exploded")
 	})
 	if _, err := c.Get("a"); err == nil {

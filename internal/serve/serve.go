@@ -4,7 +4,7 @@
 // edge-deployment story toward the ROADMAP north star of serving heavy
 // request traffic: incoming requests are collected into batches (flushed
 // when a batch fills or a deadline expires), executed by a bounded worker
-// pool through Runtime.RunBatch so conv/matmul overhead amortizes, and
+// pool through Plan.RunBatch so conv/matmul overhead amortizes, and
 // admission-controlled by a bounded queue with typed backpressure errors.
 //
 // The pieces:
@@ -13,8 +13,9 @@
 //     a typed rejection (ErrQueueFull, ErrClosed) or context cancellation.
 //   - Requests are grouped by (model, H, W) so each flush stacks into one
 //     forward pass; a per-group timer bounds added latency by MaxDelay.
-//   - A ModelCache (LRU, deduplicated loads) lets one instance serve
-//     several Pareto-front models within a bounded weight-memory budget.
+//   - A ModelCache (LRU, deduplicated loads) of compiled plans lets one
+//     instance serve several Pareto-front models within a bounded
+//     weight-memory budget.
 //   - Counters (queue depth, batch shape, latency) land in
 //     metrics.ServingStats; per-batch phases can be recorded into a
 //     profiler.Profiler.
@@ -28,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,11 +41,16 @@ import (
 	"drainnas/internal/tensor"
 )
 
-// Typed admission errors, so front ends can map them to transport-level
-// backpressure (HTTP 429 / 503) without string matching.
+// Typed admission and lookup errors, so front ends can map them to
+// transport-level codes (HTTP 429 / 503 / 404) without string matching.
 var (
 	ErrQueueFull = errors.New("serve: queue full")
 	ErrClosed    = errors.New("serve: server closed")
+	// ErrModelNotFound marks a loader failure that means the model does not
+	// exist (as opposed to a transient load error worth retrying): loaders
+	// should return an error wrapping fs.ErrNotExist or ErrModelNotFound
+	// itself. Front ends map it to 404 where transient failures stay 5xx.
+	ErrModelNotFound = errors.New("serve: model not found")
 )
 
 // Options configures a Server. The zero value gets sensible defaults.
@@ -164,7 +171,9 @@ type Server struct {
 
 // NewServer builds a server whose models come from loader (keyed by the
 // Request model string; the empty key is legal if the loader accepts it).
-func NewServer(loader func(key string) (*infer.Runtime, error), opts Options) *Server {
+// The loader returns compiled plans — immutable and shared across every
+// batch that runs the model.
+func NewServer(loader func(key string) (*infer.Plan, error), opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
 		opts:   opts,
@@ -186,6 +195,11 @@ func (s *Server) Cache() *ModelCache { return s.cache }
 func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor) (Response, error) {
 	if input == nil {
 		return Response{}, fmt.Errorf("serve: nil input")
+	}
+	if err := ctx.Err(); err != nil {
+		// An already-expired context never enters the queue: admitting it
+		// would only burn batch capacity on a result nobody is waiting for.
+		return Response{}, err
 	}
 	var h, w int
 	switch input.NDim() {
@@ -311,11 +325,16 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 	if s.opts.Profiler != nil {
 		stopLoad = s.opts.Profiler.Start("serve/load")
 	}
-	rt, err := s.cache.Get(key.model)
+	plan, err := s.cache.Get(key.model)
 	if stopLoad != nil {
 		stopLoad()
 	}
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) && !errors.Is(err, ErrModelNotFound) {
+			// Normalize filesystem-level absence to the typed sentinel so
+			// front ends need only one check.
+			err = errors.Join(ErrModelNotFound, err)
+		}
 		s.fail(key.model, claimed, fmt.Errorf("serve: model %q: %w", key.model, err))
 		return
 	}
@@ -329,7 +348,7 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 		stopFwd = s.opts.Profiler.Start("serve/forward")
 	}
 	start := time.Now()
-	preds, err := rt.RunBatch(inputs)
+	preds, err := plan.RunBatch(inputs)
 	exec := time.Since(start)
 	if stopFwd != nil {
 		stopFwd()

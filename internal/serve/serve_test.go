@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -40,13 +41,13 @@ func tinyContainer(tb testing.TB, seed uint64) []byte {
 }
 
 // testLoader serves the same tiny container for every key and counts loads.
-func testLoader(tb testing.TB) (func(string) (*infer.Runtime, error), *atomic.Int64) {
+func testLoader(tb testing.TB) (func(string) (*infer.Plan, error), *atomic.Int64) {
 	tb.Helper()
 	container := tinyContainer(tb, 7)
 	var loads atomic.Int64
-	return func(key string) (*infer.Runtime, error) {
+	return func(key string) (*infer.Plan, error) {
 		loads.Add(1)
-		return infer.Load(bytes.NewReader(container))
+		return infer.LoadPlan(bytes.NewReader(container))
 	}, &loads
 }
 
@@ -205,13 +206,46 @@ func TestContextCancellation(t *testing.T) {
 
 func TestModelLoadErrorPropagates(t *testing.T) {
 	boom := errors.New("no such model")
-	s := NewServer(func(key string) (*infer.Runtime, error) { return nil, boom }, Options{MaxDelay: time.Millisecond})
+	s := NewServer(func(key string) (*infer.Plan, error) { return nil, boom }, Options{MaxDelay: time.Millisecond})
 	defer s.Close()
 	if _, err := s.Submit(context.Background(), "ghost", testInput(1)); !errors.Is(err, boom) {
 		t.Fatalf("err %v, want wrapped loader error", err)
 	}
 	if s.QueueDepth() != 0 {
 		t.Fatalf("queue depth %d after failed request", s.QueueDepth())
+	}
+}
+
+// TestMissingModelIsErrModelNotFound pins the typed-error contract front ends
+// rely on to choose a 404 over a 503: a loader failing with fs.ErrNotExist
+// (the natural error from a filesystem-backed model dir) surfaces from Submit
+// as ErrModelNotFound without losing the original chain, while transient load
+// errors stay un-tagged.
+func TestMissingModelIsErrModelNotFound(t *testing.T) {
+	s := NewServer(func(key string) (*infer.Plan, error) {
+		switch key {
+		case "ghost":
+			return nil, fmt.Errorf("open models/%s.dnnx: %w", key, fs.ErrNotExist)
+		case "tagged":
+			return nil, fmt.Errorf("registry: %w", ErrModelNotFound)
+		default:
+			return nil, errors.New("disk on fire")
+		}
+	}, Options{MaxDelay: time.Millisecond})
+	defer s.Close()
+
+	_, err := s.Submit(context.Background(), "ghost", testInput(1))
+	if !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("fs.ErrNotExist load: err %v, want ErrModelNotFound", err)
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("fs.ErrNotExist load: err %v lost the original chain", err)
+	}
+	if _, err := s.Submit(context.Background(), "tagged", testInput(1)); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("pre-tagged load: err %v, want ErrModelNotFound", err)
+	}
+	if _, err := s.Submit(context.Background(), "flaky", testInput(1)); errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("transient load error was tagged not-found: %v", err)
 	}
 }
 
@@ -359,37 +393,69 @@ func groupCount(s *Server) int {
 // TestGroupsDoNotLeak is the regression test for the unbounded-queue-map bug:
 // empty batchGroup entries used to stay in s.groups forever, one per distinct
 // (model, H, W) ever seen, so a client cycling spatial sizes grew the map
-// without bound. A group must now live only while it holds queued requests.
+// without bound. A group must now live only while it holds queued requests —
+// and a pre-expired context must not reach the queue map at all.
 func TestGroupsDoNotLeak(t *testing.T) {
 	loader, loads := testLoader(t)
 	stats := &metrics.ServingStats{}
+	// MaxDelay far beyond the test's lifetime: groups are cut only by Close,
+	// which keeps the cancel-while-queued leg below deterministic.
 	s := NewServer(loader, Options{
-		MaxBatch: 64, MaxDelay: time.Millisecond, QueueCap: 1 << 20, Stats: stats,
+		MaxBatch: 64, MaxDelay: time.Minute, QueueCap: 1 << 20, Stats: stats,
 	})
 	defer s.Close()
 
-	canceled, cancel := context.WithCancel(context.Background())
+	// Leg 1: a context that expired before Submit never enters the queue —
+	// no group incarnation, no stats, no model load. 10k distinct (H, W)
+	// keys would each have leaked a map entry under the old behavior.
+	expired, cancel := context.WithCancel(context.Background())
 	cancel()
 	const distinct = 10000
 	for i := 0; i < distinct; i++ {
-		// 10k distinct (H, W) keys; the pre-canceled context means Submit
-		// returns immediately and the executor never claims anything, so this
-		// sweep is pure queue-map churn.
 		h, w := 1+i%100, 1+i/100
-		if _, err := s.Submit(canceled, "m", tensor.New(1, h, w)); !errors.Is(err, context.Canceled) {
+		if _, err := s.Submit(expired, "m", tensor.New(1, h, w)); !errors.Is(err, context.Canceled) {
 			t.Fatalf("submit %d: err %v, want context.Canceled", i, err)
 		}
 	}
-	// Before the fix every key ever seen stayed in the map forever (the drain
-	// below would sit at 10000); now each group is deleted when its MaxDelay
-	// timer cuts it, so the map empties once the in-flight timers fire.
-	waitFor(t, func() bool { return groupCount(s) == 0 })
+	if n := groupCount(s); n != 0 {
+		t.Fatalf("pre-expired submissions created %d groups", n)
+	}
+	if snap := stats.Snapshot(); snap.Accepted != 0 || snap.Canceled != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("pre-expired submissions touched stats: %s", snap)
+	}
+
+	// Leg 2: requests canceled while queued. Each submitter blocks until its
+	// context is cut; the canceled pendings stay in their groups until Close
+	// cuts the batches, at which point the executor must claim nothing.
+	const queued = 8
+	ctx, cancelQueued := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(ctx, "m", tensor.New(1, 4+i, 4+i))
+		}(i)
+	}
+	waitFor(t, func() bool { return groupCount(s) == queued })
+	cancelQueued()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued submit %d: err %v, want context.Canceled", i, err)
+		}
+	}
+	s.Close()
+	if n := groupCount(s); n != 0 {
+		t.Fatalf("%d groups survive Close", n)
+	}
 	if n := loads.Load(); n != 0 {
 		t.Fatalf("canceled-only traffic loaded models %d times", n)
 	}
 	snap := stats.Snapshot()
-	if snap.Canceled != distinct || snap.QueueDepth != 0 {
-		t.Fatalf("canceled=%d depth=%d, want %d/0 (%s)", snap.Canceled, snap.QueueDepth, distinct, snap)
+	if snap.Canceled != queued || snap.QueueDepth != 0 {
+		t.Fatalf("canceled=%d depth=%d, want %d/0 (%s)", snap.Canceled, snap.QueueDepth, queued, snap)
 	}
 }
 

@@ -144,13 +144,26 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	}
 	out := New(n, oc, oh, ow)
 	kdim := c * kh * kw
-	cols := oh * ow
 	wmat := weight.Reshape(oc, kdim)
 	wp := newWeightPack(wmat.data, kdim, oc, kdim)
-	// Fast path: a 1×1 kernel needs no patch lowering — the convolution is
-	// a plain channel-mixing matmul over (sub-sampled) pixels. ResNet's
-	// downsample projections hit this path on every block boundary.
-	pointwise := kh == 1 && kw == 1 && pad == 0
+	var b []float32
+	if bias != nil {
+		b = bias.data
+	}
+	convInto(out, input, wp, b, false, kh, kw, stride, pad)
+	wp.release()
+	return out
+}
+
+// convInto is the convolution driver shared by Conv2D (per-call pack) and
+// PackedConv (persistent pack): it runs the (sample × output-row chunk) grid
+// against an already-built weight pack, writing into a caller-provided
+// output tensor, with bias addition and an optional ReLU fused into the
+// per-chunk epilogue so activations are touched exactly once. Shapes must
+// already be validated by the caller.
+func convInto(out, input *Tensor, wp *weightPack, bias []float32, relu bool, kh, kw, stride, pad int) {
+	n := input.shape[0]
+	oh := out.shape[2]
 	chunks := 1
 	if workers := parallel.DefaultWorkers; n < workers {
 		chunks = (workers + n - 1) / n
@@ -158,48 +171,99 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 			chunks = oh
 		}
 	}
-	parallel.ForTiles2D(n, chunks, 0, func(s, ci int) {
-		oyLo, oyHi := parallel.SplitRange(oh, chunks, ci)
-		if oyLo == oyHi {
-			return
+	job := convJob{
+		out: out, input: input, wp: wp, bias: bias, relu: relu,
+		kh: kh, kw: kw, stride: stride, pad: pad, chunks: chunks,
+	}
+	if parallel.DefaultWorkers == 1 || n*chunks == 1 {
+		// Serial grid: calling the chunk body directly (rather than through
+		// a closure handed to the scheduler) keeps the steady-state inference
+		// path allocation-free.
+		for s := 0; s < n; s++ {
+			for ci := 0; ci < chunks; ci++ {
+				job.run(s, ci)
+			}
 		}
-		colLo := oyLo * ow
-		chunkCols := (oyHi - oyLo) * ow
-		sample := input.data[s*c*h*w : (s+1)*c*h*w]
-		var bsrc, scratch []float32
-		ldb := chunkCols
-		switch {
-		case pointwise && stride == 1:
-			// The column matrix is the image itself; the chunk is a column
-			// window of it, addressed in place via the leading dimension.
-			bsrc = sample[colLo:]
-			ldb = h * w
-		case pointwise:
-			scratch = getScratch(c * chunkCols)
-			pointwiseColumns(sample, c, h, w, stride, oyLo, oyHi, scratch)
-			bsrc = scratch
-		default:
-			scratch = getScratch(kdim * chunkCols)
-			Im2ColRows(sample, c, h, w, kh, kw, stride, pad, oyLo, oyHi, scratch)
-			bsrc = scratch
-		}
-		res := out.data[s*oc*cols : (s+1)*oc*cols]
-		wp.mulInto(res[colLo:], cols, bsrc, ldb, chunkCols, false)
-		if scratch != nil {
-			putScratch(scratch)
-		}
-		if bias != nil {
-			for o := 0; o < oc; o++ {
-				bv := bias.data[o]
-				dst := res[o*cols+colLo : o*cols+colLo+chunkCols]
+		return
+	}
+	pjob := job // escapes via the method value; the serial job stays on the stack
+	parallel.ForTiles2D(n, chunks, 0, pjob.run)
+}
+
+// convJob carries one convInto invocation's parameters so the per-chunk body
+// can be a method (direct-callable on the serial path) instead of a closure.
+type convJob struct {
+	out, input *Tensor
+	wp         *weightPack
+	bias       []float32
+	relu       bool
+	kh, kw     int
+	stride     int
+	pad        int
+	chunks     int
+}
+
+// run executes grid cell (sample s, row-chunk ci).
+func (j *convJob) run(s, ci int) {
+	c, h, w := j.input.shape[1], j.input.shape[2], j.input.shape[3]
+	oc, oh, ow := j.out.shape[1], j.out.shape[2], j.out.shape[3]
+	kdim := c * j.kh * j.kw
+	cols := oh * ow
+	// Fast path: a 1×1 kernel needs no patch lowering — the convolution is
+	// a plain channel-mixing matmul over (sub-sampled) pixels. ResNet's
+	// downsample projections hit this path on every block boundary.
+	pointwise := j.kh == 1 && j.kw == 1 && j.pad == 0
+	oyLo, oyHi := parallel.SplitRange(oh, j.chunks, ci)
+	if oyLo == oyHi {
+		return
+	}
+	colLo := oyLo * ow
+	chunkCols := (oyHi - oyLo) * ow
+	sample := j.input.data[s*c*h*w : (s+1)*c*h*w]
+	var bsrc, scratch []float32
+	ldb := chunkCols
+	switch {
+	case pointwise && j.stride == 1:
+		// The column matrix is the image itself; the chunk is a column
+		// window of it, addressed in place via the leading dimension.
+		bsrc = sample[colLo:]
+		ldb = h * w
+	case pointwise:
+		scratch = getScratch(c * chunkCols)
+		pointwiseColumns(sample, c, h, w, j.stride, oyLo, oyHi, scratch)
+		bsrc = scratch
+	default:
+		scratch = getScratch(kdim * chunkCols)
+		Im2ColRows(sample, c, h, w, j.kh, j.kw, j.stride, j.pad, oyLo, oyHi, scratch)
+		bsrc = scratch
+	}
+	res := j.out.data[s*oc*cols : (s+1)*oc*cols]
+	j.wp.mulInto(res[colLo:], cols, bsrc, ldb, chunkCols, false)
+	if scratch != nil {
+		putScratch(scratch)
+	}
+	if j.bias != nil || j.relu {
+		for o := 0; o < oc; o++ {
+			var bv float32
+			if j.bias != nil {
+				bv = j.bias[o]
+			}
+			dst := res[o*cols+colLo : o*cols+colLo+chunkCols]
+			if j.relu {
+				for i, v := range dst {
+					v += bv
+					if v < 0 {
+						v = 0
+					}
+					dst[i] = v
+				}
+			} else if bv != 0 {
 				for i := range dst {
 					dst[i] += bv
 				}
 			}
 		}
-	})
-	wp.release()
-	return out
+	}
 }
 
 // pointwiseColumns builds the column window for output rows [oyLo, oyHi) of

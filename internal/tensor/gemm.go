@@ -232,8 +232,11 @@ func computeTiles(pa packedA, pb packedB, c []float32, ldc int, rtLo, rtHi, pLo,
 	aslot := gemmKC * mr
 	bslot := gemmKC * nr
 	kBlocks := pa.kBlocks
-	var tile [gemmMaxTile]float32
-	cbuf := tile[:mr*nr]
+	// The accumulator tile comes from the scratch pool rather than a local
+	// array: microKernel is a func variable, so escape analysis would move a
+	// local to the heap on every call — the pool round trip is allocation-free.
+	cbuf := getScratch(mr * nr)
+	defer putScratch(cbuf)
 	for rt := rtLo; rt < rtHi; rt++ {
 		rows := pa.m - rt*mr
 		if rows > mr {

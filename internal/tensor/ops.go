@@ -24,6 +24,71 @@ func Add(a, b *Tensor) *Tensor {
 	return out
 }
 
+// AddInto writes a + b into dst elementwise. dst may alias a or b; all
+// three must share a shape. It is the allocation-free variant of Add for
+// callers that own their output buffers (compiled inference plans).
+func AddInto(dst, a, b *Tensor) {
+	binaryCheck("AddInto", a, b)
+	binaryCheck("AddInto dst", dst, a)
+	// The serial case calls the range body directly: a closure handed to
+	// forEach would heap-allocate per call, which the compiled-plan steady
+	// state promises not to do. Same pattern in the other *Into ops.
+	if n := len(a.data); serialRange(n) {
+		addRange(dst.data, a.data, b.data, 0, n)
+	} else {
+		forEach(n, func(lo, hi int) { addRange(dst.data, a.data, b.data, lo, hi) })
+	}
+}
+
+func addRange(dst, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// AddReLUInto writes max(a + b, 0) into dst elementwise — the fused
+// residual-join epilogue (Add followed by ReLU) done in one pass. dst may
+// alias a or b.
+func AddReLUInto(dst, a, b *Tensor) {
+	binaryCheck("AddReLUInto", a, b)
+	binaryCheck("AddReLUInto dst", dst, a)
+	if n := len(a.data); serialRange(n) {
+		addReLURange(dst.data, a.data, b.data, 0, n)
+	} else {
+		forEach(n, func(lo, hi int) { addReLURange(dst.data, a.data, b.data, lo, hi) })
+	}
+}
+
+func addReLURange(dst, a, b []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := a[i] + b[i]
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
+}
+
+// ReLUInto writes max(a, 0) into dst elementwise. dst may alias a.
+func ReLUInto(dst, a *Tensor) {
+	binaryCheck("ReLUInto", dst, a)
+	if n := len(a.data); serialRange(n) {
+		reLURange(dst.data, a.data, 0, n)
+	} else {
+		forEach(n, func(lo, hi int) { reLURange(dst.data, a.data, lo, hi) })
+	}
+}
+
+func reLURange(dst, a []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := a[i]
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
+}
+
 // AddInPlace accumulates b into a and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	binaryCheck("AddInPlace", a, b)

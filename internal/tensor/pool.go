@@ -59,6 +59,74 @@ func MaxPool2D(input *Tensor, kernel, stride, pad int) (*Tensor, []int32) {
 	return out, argmax
 }
 
+// MaxPool2DInto is the inference-path variant of MaxPool2D: it pools into a
+// caller-provided (N, C, OH, OW) output and skips the argmax bookkeeping
+// only the backward pass needs, so a steady-state forward allocates nothing.
+func MaxPool2DInto(out, input *Tensor, kernel, stride, pad int) {
+	n, c, h, w := dims4("MaxPool2DInto input", input)
+	on, ocn, oh, ow := dims4("MaxPool2DInto out", out)
+	eh := ConvOut(h, kernel, stride, pad)
+	ew := ConvOut(w, kernel, stride, pad)
+	if eh <= 0 || ew <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto produces empty output for input %dx%d k=%d s=%d p=%d", h, w, kernel, stride, pad))
+	}
+	if on != n || ocn != c || oh != eh || ow != ew {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto out shape %v, want [%d %d %d %d]", out.shape, n, c, eh, ew))
+	}
+	// As in convInto: the serial case calls the plane body directly instead
+	// of building a closure for parallel.Map, keeping the steady-state
+	// compiled-inference forward allocation-free.
+	job := maxPoolJob{out: out, input: input, kernel: kernel, stride: stride, pad: pad, h: h, w: w, oh: oh, ow: ow}
+	if parallel.DefaultWorkers == 1 || n*c == 1 {
+		for p := 0; p < n*c; p++ {
+			job.run(p)
+		}
+	} else {
+		pjob := job
+		parallel.Map(n*c, 0, pjob.run)
+	}
+}
+
+// maxPoolJob carries MaxPool2DInto's per-plane state so the hot loop can be
+// a method rather than a closure (closures handed to parallel.Map always
+// heap-allocate; a method value only escapes on the parallel branch).
+type maxPoolJob struct {
+	out, input          *Tensor
+	kernel, stride, pad int
+	h, w, oh, ow        int
+}
+
+func (j *maxPoolJob) run(p int) {
+	h, w, oh, ow := j.h, j.w, j.oh, j.ow
+	plane := j.input.data[p*h*w : (p+1)*h*w]
+	dst := j.out.data[p*oh*ow : (p+1)*oh*ow]
+	i := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			best := float32(0)
+			found := false
+			for ky := 0; ky < j.kernel; ky++ {
+				sy := oy*j.stride - j.pad + ky
+				if sy < 0 || sy >= h {
+					continue
+				}
+				for kx := 0; kx < j.kernel; kx++ {
+					sx := ox*j.stride - j.pad + kx
+					if sx < 0 || sx >= w {
+						continue
+					}
+					if v := plane[sy*w+sx]; !found || v > best {
+						best = v
+						found = true
+					}
+				}
+			}
+			dst[i] = best
+			i++
+		}
+	}
+}
+
 // MaxPool2DBackward routes each output gradient to the input position that
 // produced the max, as recorded in argmax by MaxPool2D.
 func MaxPool2DBackward(gradOut *Tensor, argmax []int32, inShape []int) *Tensor {
@@ -95,6 +163,33 @@ func GlobalAvgPool2D(input *Tensor) *Tensor {
 		}
 	})
 	return out
+}
+
+// GlobalAvgPool2DInto averages each (H, W) plane of input into the
+// caller-provided (N, C) output — the allocation-free variant of
+// GlobalAvgPool2D for compiled inference plans.
+func GlobalAvgPool2DInto(out, input *Tensor) {
+	n, c, h, w := dims4("GlobalAvgPool2DInto input", input)
+	if out.NDim() != 2 || out.shape[0] != n || out.shape[1] != c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2DInto out shape %v, want [%d %d]", out.shape, n, c))
+	}
+	inv := 1.0 / float64(h*w)
+	if nc := n * c; serialRange(nc) {
+		globalAvgRange(out.data, input.data, h*w, inv, 0, nc)
+	} else {
+		forEach(nc, func(lo, hi int) { globalAvgRange(out.data, input.data, h*w, inv, lo, hi) })
+	}
+}
+
+func globalAvgRange(dst, src []float32, planeSize int, inv float64, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		plane := src[p*planeSize : (p+1)*planeSize]
+		s := 0.0
+		for _, v := range plane {
+			s += float64(v)
+		}
+		dst[p] = float32(s * inv)
+	}
 }
 
 // GlobalAvgPool2DBackward spreads each (N, C) gradient uniformly over the

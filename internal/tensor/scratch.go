@@ -19,9 +19,17 @@ import (
 // it short, allocate, and lose the pooled one forever). Waste is bounded at
 // 2× the requested size; classes below scratchMinClass share one bucket so
 // tiny buffers don't fragment across pools.
+// Buffers travel through the pools inside *[]float32 boxes: a pointer is
+// interface-shaped, so Put never boxes (storing a bare slice would allocate
+// a 24-byte header on every return — measurable churn on the zero-alloc
+// inference path). The boxes themselves recycle through scratchBoxes, so a
+// steady-state get/put round trip allocates nothing at all.
 const scratchMinClass = 6 // smallest bucket: 64 floats (256 B)
 
-var scratchPools [28]sync.Pool
+var (
+	scratchPools [28]sync.Pool
+	scratchBoxes = sync.Pool{New: func() any { return new([]float32) }}
+)
 
 // scratchPoolDisabled short-circuits the pool (every get allocates, every
 // put drops); tests use it to compare pooled against fresh-buffer runs.
@@ -45,8 +53,12 @@ func getScratch(n int) []float32 {
 	c := scratchClass(n)
 	if !scratchPoolDisabled {
 		if v := scratchPools[c].Get(); v != nil {
+			box := v.(*[]float32)
+			buf := *box
+			*box = nil // don't pin the buffer from the box pool
+			scratchBoxes.Put(box)
 			metrics.Kernel.ScratchHit()
-			return v.([]float32)[:n]
+			return buf[:n]
 		}
 	}
 	metrics.Kernel.ScratchMiss()
@@ -61,6 +73,8 @@ func putScratch(buf []float32) {
 	if c < 1<<scratchMinClass || scratchPoolDisabled {
 		return
 	}
-	class := bits.Len(uint(c)) - 1     // floor(log2 cap): cap ≥ 2^class
-	scratchPools[class].Put(buf[:c:c]) //nolint:staticcheck // slice, not pointer, is fine here
+	class := bits.Len(uint(c)) - 1 // floor(log2 cap): cap ≥ 2^class
+	box := scratchBoxes.Get().(*[]float32)
+	*box = buf[:c:c]
+	scratchPools[class].Put(box)
 }

@@ -213,3 +213,11 @@ func forEach(n int, body func(lo, hi int)) {
 	}
 	parallel.ForChunked(n, 0, body)
 }
+
+// serialRange reports whether an n-element elementwise pass should run as a
+// plain loop: below the parallel threshold, or with parallelism pinned to 1.
+// Callers use it to bypass forEach entirely — constructing the closure that
+// forEach takes heap-allocates, which the zero-alloc inference path avoids.
+func serialRange(n int) bool {
+	return n < parallelThreshold || parallel.DefaultWorkers == 1
+}
