@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke
 
-ci: vet build test race crash-resume fuzz bench-smoke obs-smoke
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/...
+	$(GO) test -race ./internal/serve/... ./internal/route/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/... ./cmd/router/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -37,6 +37,13 @@ crash-resume:
 # contiguity, histogram bucket invariants); also exercises the SIGTERM drain.
 obs-smoke:
 	$(GO) test -race -run 'ServdMetricsSmoke|ServdGracefulShutdown|MetricsEndpoint' ./cmd/servd
+
+# Routing-tier smoke: build the real router binary over three in-process
+# replicas, push 200 mixed-model requests through it, require non-zero
+# traffic on every replica, and drain cleanly on SIGTERM. Also exercises
+# the plan→cost-graph SJF seeding path end to end.
+router-smoke:
+	$(GO) test -race -count=1 -run 'RouterSmoke|RouterBinarySJFSeeding' ./cmd/router
 
 # Short fuzz smoke runs: the container decoder and the runtime loader must
 # reject arbitrary input without panicking.

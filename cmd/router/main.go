@@ -1,0 +1,318 @@
+// Command router is the cluster-scale front tier over the batching
+// inference servers: it spreads /v1/predict traffic across a replica fleet
+// through a pluggable placement policy, with token-bucket admission, SLO-
+// class-aware dispatch ordering, and hedged retries that cancel the losing
+// attempt. Replicas are either in-process serving cores sharing this
+// process (-replicas N over one model directory) or remote servd instances
+// reached over HTTP (-backends url,url,...), interchangeable behind the
+// same routing tier.
+//
+// The API mirrors servd's /v1/ surface so clients and probes move between
+// tiers unchanged:
+//
+//	POST /v1/predict   {"model","shape","data","slo"?} ->
+//	                   {"model","class","logits","batch_size","queued_ms",
+//	                    "total_ms","replica","hedged"?}
+//	GET  /v1/stats     routing counters (per policy/class/replica) plus the
+//	                   fleet's aggregated serving counters
+//	GET  /v1/metrics   the same in Prometheus text exposition format
+//	GET  /v1/healthz   liveness + replica fleet size and policy
+//
+// Errors reuse the shared envelope; the router adds two codes on top of
+// servd's set: throttled (429, token-bucket admission) and no_replicas
+// (503, empty fleet).
+//
+// With -sched sjf the dispatch order needs per-model latency estimates
+// before any traffic has flowed; the router seeds them by lowering each
+// deployed model's compiled plan into latmeter's kernel graph and pricing
+// it on the -predict-device cost model, then refines with a measured EWMA.
+//
+// On SIGINT/SIGTERM the router stops accepting connections, drains
+// in-flight requests for up to -drain, closes the routing tier and the
+// local replicas' serving cores, and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"drainnas/internal/httpx"
+	"drainnas/internal/latmeter"
+	"drainnas/internal/metrics"
+	"drainnas/internal/route"
+	"drainnas/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address")
+		models      = flag.String("models", ".", "directory of exported .dnnx model containers (local replicas)")
+		replicas    = flag.Int("replicas", 3, "in-process serving replicas (0 with -backends for a pure proxy tier)")
+		backends    = flag.String("backends", "", "comma-separated base URLs of remote servd replicas")
+		policyName  = flag.String("policy", route.PolicyRoundRobin, "placement policy: round-robin, least-loaded or affinity")
+		schedName   = flag.String("sched", "fcfs", "dispatch order under -max-inflight: fcfs, priority or sjf")
+		maxInflight = flag.Int("max-inflight", 0, "bound on concurrently dispatched requests (0 = unlimited)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "launch a hedge attempt on a second replica after this long (0 = off)")
+		retryErr    = flag.Bool("retry-on-error", false, "redispatch retryable replica errors to an untried replica")
+		rate        = flag.Float64("rate", 0, "token-bucket admission rate in requests/second (0 = unlimited)")
+		burst       = flag.Float64("burst", 1, "token-bucket burst capacity")
+		device      = flag.String("predict-device", "", "latmeter device for seeding sjf latency estimates (empty = no seed)")
+		predictSize = flag.Int("predict-size", latmeter.DefaultInputSize, "image side assumed for latency seeding")
+		maxBatch    = flag.Int("max-batch", 8, "per-replica: flush a batch at this many requests")
+		maxDelay    = flag.Duration("max-delay", 2*time.Millisecond, "per-replica: flush a non-empty batch after this delay")
+		queueCap    = flag.Int("queue", 256, "per-replica: bounded admission queue capacity")
+		workers     = flag.Int("workers", 0, "per-replica: worker pool size (0 = GOMAXPROCS)")
+		cacheCap    = flag.Int("cache", 4, "per-replica: resident model cache capacity")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	policy, err := route.PolicyByName(*policyName)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	sched, err := route.ParseSchedMode(*schedName)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+
+	// Local replicas share one ServingStats so the fleet's serving counters
+	// aggregate into a single exposition (per-replica traffic split comes
+	// from the router's own per-replica counters instead).
+	serving := &metrics.ServingStats{}
+	var (
+		reps   []route.Replica
+		locals []*route.LocalReplica
+	)
+	for i := 0; i < *replicas; i++ {
+		srv := serve.NewServer(serve.DirLoader(*models), serve.Options{
+			MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+			QueueCap: *queueCap, Workers: *workers, CacheCap: *cacheCap,
+			Stats: serving,
+		})
+		lr := route.NewLocalReplica(fmt.Sprintf("local-%d", i), srv)
+		locals = append(locals, lr)
+		reps = append(reps, lr)
+	}
+	for _, base := range strings.Split(*backends, ",") {
+		base = strings.TrimSpace(strings.TrimSuffix(base, "/"))
+		if base != "" {
+			reps = append(reps, route.NewHTTPReplica("", base, nil))
+		}
+	}
+	if len(reps) == 0 {
+		log.Fatalf("router: no replicas (-replicas 0 and no -backends)")
+	}
+
+	seeds, err := seedEstimates(*device, *models, *predictSize)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+
+	router := route.New(route.Options{
+		Policy:         policy,
+		Sched:          sched,
+		MaxInFlight:    *maxInflight,
+		HedgeAfter:     *hedgeAfter,
+		RetryOnError:   *retryErr,
+		Rate:           *rate,
+		Burst:          *burst,
+		EstimateSeedMS: seeds,
+	}, reps...)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	hs := &http.Server{
+		Handler:           httpx.AccessLog("router", newAPI(router, serving, *models)),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("router: listening on %s (%d local + %d remote replicas, policy %s, sched %s)",
+		ln.Addr(), len(locals), len(reps)-len(locals), policy.Name(), sched)
+
+	closeFleet := func() {
+		router.Close()
+		for _, lr := range locals {
+			lr.Server().Close()
+		}
+	}
+	select {
+	case err := <-serveErr:
+		closeFleet()
+		log.Fatalf("router: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of re-draining
+		log.Printf("router: shutdown signal; draining for up to %s", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("router: drain incomplete: %v", err)
+		}
+		closeFleet()
+		log.Printf("router: drained, exiting")
+	}
+}
+
+// seedEstimates prices every deployed model's compiled plan on the named
+// latmeter device, giving the SJF scheduler latency estimates before the
+// first request. An empty device name disables seeding (estimates then
+// start at 0 and come entirely from the measured EWMA).
+func seedEstimates(device, modelDir string, inputSize int) (map[string]float64, error) {
+	if device == "" {
+		return nil, nil
+	}
+	dev, err := latmeter.DeviceByName(device)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := serve.ListModels(modelDir)
+	if err != nil {
+		return nil, fmt.Errorf("seeding estimates: %w", err)
+	}
+	loader := serve.DirLoader(modelDir)
+	seeds := make(map[string]float64, len(keys))
+	for _, key := range keys {
+		plan, err := loader(key)
+		if err != nil {
+			return nil, fmt.Errorf("seeding estimates: %s: %w", key, err)
+		}
+		g, err := plan.CostGraph(inputSize)
+		if err != nil {
+			// A model that cannot run at this input size simply goes
+			// unseeded; the EWMA takes over once real traffic sizes it.
+			log.Printf("router: not seeding %s: %v", key, err)
+			continue
+		}
+		seeds[key] = dev.LatencyMS(g)
+	}
+	return seeds, nil
+}
+
+// newAPI builds the HTTP handler over the routing tier. Split from main so
+// tests drive it in-process.
+func newAPI(router *route.Router, serving *metrics.ServingStats, modelDir string) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req httpx.PredictRequest
+		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		class, err := route.ParseClass(req.SLO)
+		if err != nil {
+			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			return
+		}
+		input, err := req.Tensor()
+		if err != nil {
+			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			return
+		}
+		resp, err := router.SubmitClass(r.Context(), class, req.Model, input)
+		if err != nil {
+			status, code := http.StatusInternalServerError, httpx.CodeInternal
+			switch {
+			case errors.Is(err, route.ErrThrottled):
+				status, code = http.StatusTooManyRequests, httpx.CodeThrottled
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, route.ErrNoReplicas):
+				status, code = http.StatusServiceUnavailable, httpx.CodeNoReplicas
+			case errors.Is(err, route.ErrClosed), errors.Is(err, serve.ErrClosed):
+				status, code = http.StatusServiceUnavailable, httpx.CodeShuttingDown
+			case errors.Is(err, serve.ErrQueueFull):
+				status, code = http.StatusTooManyRequests, httpx.CodeQueueFull
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, serve.ErrModelNotFound):
+				status, code = http.StatusNotFound, httpx.CodeModelNotFound
+			case errors.Is(err, r.Context().Err()):
+				status, code = http.StatusServiceUnavailable, httpx.CodeCanceled
+			}
+			httpx.Error(w, status, code, err.Error())
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, httpx.PredictResponse{
+			Model:     resp.Model,
+			Class:     resp.Class,
+			Logits:    resp.Logits,
+			BatchSize: resp.BatchSize,
+			QueuedMS:  float64(resp.Queued) / float64(time.Millisecond),
+			TotalMS:   float64(resp.Total) / float64(time.Millisecond),
+			Replica:   resp.Replica,
+			Hedged:    resp.Hedged,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		ids := make([]string, 0, 8)
+		for _, rep := range router.Replicas() {
+			ids = append(ids, rep.ID())
+		}
+		httpx.WriteJSON(w, http.StatusOK, map[string]any{
+			"router":   router.Stats().Snapshot(),
+			"serving":  serving.Snapshot(),
+			"replicas": ids,
+			"policy":   router.Policy().Name(),
+			"waiting":  router.Waiting(),
+		})
+	})
+
+	handleMetrics := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e := metrics.NewExpositionWriter(w)
+		router.Stats().Snapshot().WriteProm(e)
+		serving.Snapshot().WriteProm(e)
+		if err := e.Flush(); err != nil {
+			log.Printf("router: writing /metrics: %v", err)
+		}
+	}
+	mux.HandleFunc("GET /v1/metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+
+	handleHealthz := func(w http.ResponseWriter, r *http.Request) {
+		reps := router.Replicas()
+		if len(reps) == 0 {
+			httpx.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded",
+				"error":  "no replicas",
+			})
+			return
+		}
+		keys, err := serve.ListModels(modelDir)
+		if err != nil {
+			keys = nil // a pure proxy tier has no local model directory
+		}
+		httpx.WriteJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"replicas": len(reps),
+			"policy":   router.Policy().Name(),
+			"models":   keys,
+		})
+	}
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+
+	return mux
+}

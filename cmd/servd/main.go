@@ -36,25 +36,20 @@ package main
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"drainnas/internal/httpx"
 	"drainnas/internal/infer"
 	"drainnas/internal/metrics"
 	"drainnas/internal/serve"
@@ -130,60 +125,10 @@ func main() {
 	}
 }
 
-// withAccessLog wraps h with request-ID propagation and one structured log
-// line per request: id, method, path, status, response bytes and latency.
-// An incoming X-Request-ID is honored (so IDs follow a request across
-// proxies); otherwise one is minted, and either way it is echoed back.
-func withAccessLog(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get("X-Request-ID")
-		if id == "" {
-			id = nextRequestID()
-		}
-		w.Header().Set("X-Request-ID", id)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h.ServeHTTP(rec, r)
-		log.Printf("servd: access id=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f",
-			id, r.Method, r.URL.Path, rec.status, rec.bytes,
-			float64(time.Since(start))/float64(time.Millisecond))
-	})
-}
-
-// reqIDPrefix distinguishes this process's IDs from a restarted instance's;
-// the atomic counter distinguishes requests within it.
-var (
-	reqIDPrefix = func() string {
-		var b [4]byte
-		if _, err := rand.Read(b[:]); err != nil {
-			return "servd"
-		}
-		return hex.EncodeToString(b[:])
-	}()
-	reqIDSeq atomic.Uint64
-)
-
-func nextRequestID() string {
-	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
-}
-
-// statusRecorder captures the status code and body size a handler wrote.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (r *statusRecorder) WriteHeader(status int) {
-	r.status = status
-	r.ResponseWriter.WriteHeader(status)
-}
-
-func (r *statusRecorder) Write(p []byte) (int, error) {
-	n, err := r.ResponseWriter.Write(p)
-	r.bytes += int64(n)
-	return n, err
-}
+// withAccessLog tags servd's access log lines; the middleware itself
+// (request-ID minting/propagation, status/bytes/latency capture) lives in
+// internal/httpx, shared with cmd/router.
+func withAccessLog(h http.Handler) http.Handler { return httpx.AccessLog("servd", h) }
 
 // registerPprof wires the net/http/pprof handlers onto mux explicitly — the
 // server never exposes http.DefaultServeMux, so the package's init-time
@@ -196,64 +141,22 @@ func registerPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// newDirLoader maps model keys to container files under dir. A key is the
-// file's base name with or without the .dnnx extension; path traversal is
-// rejected.
-func newDirLoader(dir string) func(key string) (*infer.Plan, error) {
-	return func(key string) (*infer.Plan, error) {
-		if key == "" {
-			return nil, fmt.Errorf("empty model key: %w", fs.ErrNotExist)
-		}
-		if strings.ContainsAny(key, `/\`) || strings.Contains(key, "..") {
-			return nil, fmt.Errorf("model key %q: %w", key, fs.ErrNotExist)
-		}
-		name := key
-		if !strings.HasSuffix(name, ".dnnx") {
-			name += ".dnnx"
-		}
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return infer.LoadPlan(f)
-	}
-}
+// newDirLoader keeps servd's historical constructor name over the shared
+// directory loader in internal/serve.
+func newDirLoader(dir string) func(key string) (*infer.Plan, error) { return serve.DirLoader(dir) }
 
-// listModels returns the model keys (base names without extension)
-// available in dir, or the directory error so /healthz can surface it.
-func listModels(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var keys []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dnnx") {
-			keys = append(keys, strings.TrimSuffix(e.Name(), ".dnnx"))
-		}
-	}
-	return keys, nil
-}
+// listModels returns the model keys available in dir, or the directory
+// error so /healthz can surface it.
+func listModels(dir string) ([]string, error) { return serve.ListModels(dir) }
 
-type predictRequest struct {
-	Model string    `json:"model"`
-	Shape []int     `json:"shape"` // (C, H, W)
-	Data  []float32 `json:"data"`
-}
-
-type predictResponse struct {
-	Model     string    `json:"model"`
-	Class     int       `json:"class"`
-	Logits    []float32 `json:"logits"`
-	BatchSize int       `json:"batch_size"`
-	QueuedMS  float64   `json:"queued_ms"`
-	TotalMS   float64   `json:"total_ms"`
-}
-
-// maxBodyBytes bounds a predict request body; a 7x512x512 fp32 chip is
-// ~7.3 MB of floats, JSON-encoded ≈5x that, so 64 MB is generous.
-const maxBodyBytes = 64 << 20
+// The predict wire types and error envelope are shared with cmd/router via
+// internal/httpx; the aliases keep servd's handlers and tests on their
+// historical names.
+type (
+	predictRequest  = httpx.PredictRequest
+	predictResponse = httpx.PredictResponse
+	errorEnvelope   = httpx.ErrorEnvelope
+)
 
 // newAPI builds the HTTP handler over a serving core. Split from main so
 // tests drive it in-process. Canonical paths live under /v1/; /healthz and
@@ -264,12 +167,12 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, codeBadInput, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
-		input, err := requestTensor(req)
+		input, err := req.Tensor()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, codeBadInput, err.Error())
 			return
@@ -360,63 +263,20 @@ func writeCacheProm(e *metrics.ExpositionWriter, cs serve.CacheStats) {
 	e.Counter("drainnas_model_cache_evictions_total", "Models evicted to respect capacity.", float64(cs.Evictions))
 }
 
-func requestTensor(req predictRequest) (*tensor.Tensor, error) {
-	if len(req.Shape) != 3 {
-		return nil, fmt.Errorf("shape must be (C,H,W), got %v", req.Shape)
-	}
-	numel := 1
-	for _, d := range req.Shape {
-		if d <= 0 {
-			return nil, fmt.Errorf("shape %v has non-positive dim", req.Shape)
-		}
-		numel *= d
-		if numel > 1<<26 {
-			return nil, fmt.Errorf("shape %v too large", req.Shape)
-		}
-	}
-	if len(req.Data) != numel {
-		return nil, fmt.Errorf("data has %d values, shape %v implies %d", len(req.Data), req.Shape, numel)
-	}
-	return tensor.FromSlice(req.Data, req.Shape...), nil
-}
-
-// Stable machine-readable error codes; clients branch on these, the message
-// is for humans. Documented in the README endpoint table — adding a code is
-// fine, renaming one is a breaking change.
+// The stable error codes and the envelope writer live in internal/httpx,
+// shared with cmd/router; the aliases keep servd's handlers on their
+// historical names.
 const (
-	codeBadInput      = "bad_input"
-	codeModelNotFound = "model_not_found"
-	codeQueueFull     = "queue_full"
-	codeShuttingDown  = "shutting_down"
-	codeCanceled      = "canceled"
-	codeInternal      = "internal"
+	codeBadInput      = httpx.CodeBadInput
+	codeModelNotFound = httpx.CodeModelNotFound
+	codeQueueFull     = httpx.CodeQueueFull
+	codeShuttingDown  = httpx.CodeShuttingDown
+	codeCanceled      = httpx.CodeCanceled
+	codeInternal      = httpx.CodeInternal
 )
 
-type errorEnvelope struct {
-	Error errorBody `json:"error"`
-}
-
-type errorBody struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	RequestID string `json:"request_id,omitempty"`
-}
-
-// httpError writes the unified error envelope. The request ID comes from the
-// X-Request-ID response header that withAccessLog stamps before the handler
-// runs, so the body matches what the client can quote back from the header.
 func httpError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorEnvelope{Error: errorBody{
-		Code:      code,
-		Message:   msg,
-		RequestID: w.Header().Get("X-Request-ID"),
-	}})
+	httpx.Error(w, status, code, msg)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("servd: encoding response: %v", err)
-	}
-}
+func writeJSON(w http.ResponseWriter, status int, v any) { httpx.WriteJSON(w, status, v) }

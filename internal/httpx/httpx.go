@@ -1,0 +1,124 @@
+// Package httpx is the HTTP plumbing shared by the serving front ends
+// (cmd/servd and cmd/router): the /v1/ error envelope with stable
+// machine-readable codes, request-ID minting and propagation, the
+// access-log middleware, and the predict wire types. It was extracted from
+// cmd/servd when the router tier arrived so both tiers speak byte-identical
+// JSON — a client (or the router's own HTTP fan-out adapter) cannot tell
+// which tier produced an envelope, and an X-Request-ID minted at the router
+// follows the request through every replica's access log.
+package httpx
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Stable machine-readable error codes; clients branch on these, the message
+// is for humans. Documented in the README endpoint table — adding a code is
+// fine, renaming one is a breaking change.
+const (
+	CodeBadInput      = "bad_input"
+	CodeModelNotFound = "model_not_found"
+	CodeQueueFull     = "queue_full"
+	CodeThrottled     = "throttled"
+	CodeNoReplicas    = "no_replicas"
+	CodeShuttingDown  = "shutting_down"
+	CodeCanceled      = "canceled"
+	CodeInternal      = "internal"
+)
+
+// ErrorEnvelope is the unified error body every front end writes.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries one error: a stable code, a human message, and the
+// request ID so a client can quote it back from either the header or body.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Error writes the unified error envelope. The request ID comes from the
+// X-Request-ID response header that AccessLog stamps before the handler
+// runs, so the body matches what the client can quote back from the header.
+func Error(w http.ResponseWriter, status int, code, msg string) {
+	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:      code,
+		Message:   msg,
+		RequestID: w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpx: encoding response: %v", err)
+	}
+}
+
+// reqIDPrefix distinguishes this process's IDs from a restarted instance's;
+// the atomic counter distinguishes requests within it.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "httpx"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+// NextRequestID mints a process-unique request ID.
+func NextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// AccessLog wraps h with request-ID propagation and one structured log line
+// per request: id, method, path, status, response bytes and latency, tagged
+// with service (e.g. "servd", "router"). An incoming X-Request-ID is honored
+// (so IDs follow a request across proxies and through the router's fan-out);
+// otherwise one is minted, and either way it is echoed back.
+func AccessLog(service string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = NextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		log.Printf("%s: access id=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f",
+			service, id, r.Method, r.URL.Path, rec.status, rec.bytes,
+			float64(time.Since(start))/float64(time.Millisecond))
+	})
+}
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}

@@ -1,0 +1,58 @@
+package httpx
+
+import (
+	"fmt"
+
+	"drainnas/internal/tensor"
+)
+
+// MaxPredictBodyBytes bounds a predict request body; a 7x512x512 fp32 chip
+// is ~7.3 MB of floats, JSON-encoded ≈5x that, so 64 MB is generous.
+const MaxPredictBodyBytes = 64 << 20
+
+// PredictRequest is the POST /v1/predict body both front ends accept. SLO
+// is honored by the router tier ("batch", "standard", "interactive";
+// empty = standard) and ignored by a bare replica, so one client payload
+// works against either tier.
+type PredictRequest struct {
+	Model string    `json:"model"`
+	Shape []int     `json:"shape"` // (C, H, W)
+	Data  []float32 `json:"data"`
+	SLO   string    `json:"slo,omitempty"`
+}
+
+// PredictResponse is the POST /v1/predict success body. Replica is set by
+// the router tier (which replica served the request, and whether the winning
+// attempt was a hedge); a bare replica leaves it empty.
+type PredictResponse struct {
+	Model     string    `json:"model"`
+	Class     int       `json:"class"`
+	Logits    []float32 `json:"logits"`
+	BatchSize int       `json:"batch_size"`
+	QueuedMS  float64   `json:"queued_ms"`
+	TotalMS   float64   `json:"total_ms"`
+	Replica   string    `json:"replica,omitempty"`
+	Hedged    bool      `json:"hedged,omitempty"`
+}
+
+// Tensor validates the request's shape/data agreement and builds the input
+// tensor. The error text is client-facing (it lands in a bad_input envelope).
+func (req PredictRequest) Tensor() (*tensor.Tensor, error) {
+	if len(req.Shape) != 3 {
+		return nil, fmt.Errorf("shape must be (C,H,W), got %v", req.Shape)
+	}
+	numel := 1
+	for _, d := range req.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("shape %v has non-positive dim", req.Shape)
+		}
+		numel *= d
+		if numel > 1<<26 {
+			return nil, fmt.Errorf("shape %v too large", req.Shape)
+		}
+	}
+	if len(req.Data) != numel {
+		return nil, fmt.Errorf("data has %d values, shape %v implies %d", len(req.Data), req.Shape, numel)
+	}
+	return tensor.FromSlice(req.Data, req.Shape...), nil
+}

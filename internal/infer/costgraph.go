@@ -1,0 +1,104 @@
+package infer
+
+import (
+	"fmt"
+
+	"drainnas/internal/latmeter"
+	"drainnas/internal/tensor"
+)
+
+// CostGraph lowers the compiled plan into latmeter's fused kernel graph for
+// a batch-1 forward over an inputSize×inputSize image. This is how a serving
+// tier predicts a model's latency when all it holds is the compiled
+// container — the resnet.Config that latmeter.Decompose wants is not
+// retained in a .dnnx file, but the plan's fused ops carry the same geometry
+// the cost model needs. The router uses this to seed its shortest-job-first
+// latency estimates per deployed model at startup.
+//
+// The kernel sequence matches latmeter.Decompose kernel-for-kernel on
+// exporter-produced containers (the parity test pins it), because plan
+// compilation fuses exactly the chains decomposition assumes: Conv+BN+ReLU
+// into one kernel, Add+ReLU into one join.
+func (p *Plan) CostGraph(inputSize int) (latmeter.Graph, error) {
+	if inputSize <= 0 {
+		return latmeter.Graph{}, fmt.Errorf("infer: cost graph input size %d", inputSize)
+	}
+	side := make([]int, p.numVals)
+	chans := make([]int, p.numVals)
+	for v := range side {
+		side[v], chans[v] = -1, -1
+	}
+	side[0], chans[0] = inputSize, p.inC
+
+	ks := make([]latmeter.Kernel, 0, len(p.ops))
+	for _, op := range p.ops {
+		hw, ch := side[op.in], chans[op.in]
+		if hw <= 0 {
+			return latmeter.Graph{}, fmt.Errorf("infer: op %s reads a value with unresolved spatial size", op.name)
+		}
+		switch op.kind {
+		case opConv:
+			kh, kw := op.conv.KernelSize()
+			if kh != kw {
+				return latmeter.Graph{}, fmt.Errorf("infer: op %s has non-square kernel %dx%d, cost model wants square", op.name, kh, kw)
+			}
+			oh, ow := op.conv.OutSize(hw, hw)
+			if oh <= 0 || oh != ow {
+				return latmeter.Graph{}, fmt.Errorf("infer: op %s collapses a %d input to %dx%d", op.name, hw, oh, ow)
+			}
+			typ := latmeter.KConvBN
+			if op.conv.HasReLU() {
+				typ = latmeter.KConvBNReLU
+			}
+			ks = append(ks, latmeter.Kernel{
+				Type: typ, Name: op.name,
+				InC: op.conv.InChannels(), OutC: op.conv.OutChannels(),
+				HW: hw, OutHW: oh, K: kh, S: op.conv.Stride(),
+			})
+			side[op.out], chans[op.out] = oh, op.conv.OutChannels()
+
+		case opRelu:
+			// A standalone ReLU only arises when the exporter's fusion chains
+			// were broken; it is elementwise and contributes no kernel of its
+			// own in the cost model.
+			side[op.out], chans[op.out] = hw, ch
+
+		case opMaxPool:
+			out := tensor.ConvOut(hw, op.kernel, op.stride, op.pad)
+			if out <= 0 {
+				return latmeter.Graph{}, fmt.Errorf("infer: op %s collapses a %d input", op.name, hw)
+			}
+			ks = append(ks, latmeter.Kernel{
+				Type: latmeter.KMaxPool, Name: op.name,
+				InC: ch, OutC: ch, HW: hw, OutHW: out, K: op.kernel, S: op.stride,
+			})
+			side[op.out], chans[op.out] = out, ch
+
+		case opAdd:
+			ks = append(ks, latmeter.Kernel{
+				Type: latmeter.KAddReLU, Name: op.name,
+				InC: ch, OutC: ch, HW: hw, OutHW: hw,
+			})
+			side[op.out], chans[op.out] = hw, ch
+
+		case opGlobalAvgPool:
+			ks = append(ks, latmeter.Kernel{
+				Type: latmeter.KGlobalAvgPool, Name: op.name,
+				InC: ch, OutC: ch, HW: hw, OutHW: 1,
+			})
+			side[op.out], chans[op.out] = 1, ch
+
+		case opFC:
+			ks = append(ks, latmeter.Kernel{
+				Type: latmeter.KFC, Name: op.name,
+				InC: op.conv.InChannels(), OutC: op.conv.OutChannels(),
+				HW: 1, OutHW: 1,
+			})
+			side[op.out], chans[op.out] = 1, op.conv.OutChannels()
+
+		default:
+			return latmeter.Graph{}, fmt.Errorf("infer: op %s has no cost-model kernel", op.name)
+		}
+	}
+	return latmeter.Graph{Kernels: ks, InputSize: inputSize}, nil
+}

@@ -1,0 +1,88 @@
+package infer
+
+import (
+	"bytes"
+	"testing"
+
+	"drainnas/internal/latmeter"
+	"drainnas/internal/resnet"
+)
+
+// TestCostGraphMatchesDecompose pins the parity that makes plan-derived
+// latency seeding trustworthy: walking a compiled container's fused ops
+// must reproduce latmeter.Decompose's kernel graph for the same
+// architecture — kernel for kernel, geometry for geometry. (Names differ
+// only where the exporter is more specific, e.g. "layer2.0.down.conv" vs
+// decomposition's "layer2.0.down", so they are compared normalized.)
+func TestCostGraphMatchesDecompose(t *testing.T) {
+	cfgs := []resnet.Config{
+		{Channels: 3, Batch: 4, KernelSize: 3, Stride: 2, Padding: 1,
+			PoolChoice: 0, InitialOutputFeature: 4, NumClasses: 2},
+		{Channels: 7, Batch: 4, KernelSize: 7, Stride: 2, Padding: 3,
+			PoolChoice: 1, KernelSizePool: 3, StridePool: 2, InitialOutputFeature: 8, NumClasses: 2},
+		{Channels: 5, Batch: 4, KernelSize: 5, Stride: 1, Padding: 2,
+			PoolChoice: 1, KernelSizePool: 2, StridePool: 2, InitialOutputFeature: 16, NumClasses: 4},
+	}
+	for i, cfg := range cfgs {
+		_, container := exportModel(t, cfg, uint64(100+i))
+		p, err := LoadPlan(bytes.NewReader(container))
+		if err != nil {
+			t.Fatalf("cfg %d: LoadPlan: %v", i, err)
+		}
+		for _, size := range []int{64, latmeter.DefaultInputSize} {
+			want, err := latmeter.Decompose(cfg, size)
+			if err != nil {
+				t.Fatalf("cfg %d size %d: Decompose: %v", i, size, err)
+			}
+			got, err := p.CostGraph(size)
+			if err != nil {
+				t.Fatalf("cfg %d size %d: CostGraph: %v", i, size, err)
+			}
+			if got.InputSize != size {
+				t.Fatalf("cfg %d: InputSize = %d, want %d", i, got.InputSize, size)
+			}
+			if len(got.Kernels) != len(want.Kernels) {
+				t.Fatalf("cfg %d size %d: %d kernels, want %d\ngot:  %v\nwant: %v",
+					i, size, len(got.Kernels), len(want.Kernels), got.Kernels, want.Kernels)
+			}
+			for j := range want.Kernels {
+				g, w := got.Kernels[j], want.Kernels[j]
+				g.Name, w.Name = "", ""
+				if g != w {
+					t.Errorf("cfg %d size %d kernel %d (%s): %+v, want %+v",
+						i, size, j, want.Kernels[j].Name, g, w)
+				}
+			}
+			// Identical geometry must give identical predicted latency — the
+			// quantity the router actually seeds SJF with.
+			for _, dev := range latmeter.Devices() {
+				if g, w := dev.LatencyMS(got), dev.LatencyMS(want); g != w {
+					t.Errorf("cfg %d size %d device %s: plan-predicted %.4fms, config-predicted %.4fms",
+						i, size, dev.Name, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestCostGraphRejectsBadSize pins input validation and the collapsed-
+// spatial guard.
+func TestCostGraphRejectsBadSize(t *testing.T) {
+	// An unpadded 2-wide max pool collapses a 1-pixel feature map to nothing.
+	cfg := resnet.Config{Channels: 5, Batch: 4, KernelSize: 5, Stride: 1, Padding: 2,
+		PoolChoice: 1, KernelSizePool: 2, StridePool: 2, InitialOutputFeature: 16, NumClasses: 4}
+	_, container := exportModel(t, cfg, 9)
+	p, err := LoadPlan(bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CostGraph(0); err == nil {
+		t.Fatal("CostGraph(0) succeeded")
+	}
+	if _, err := p.CostGraph(-3); err == nil {
+		t.Fatal("CostGraph(-3) succeeded")
+	}
+	if _, err := p.CostGraph(1); err == nil {
+		t.Fatal("CostGraph(1) succeeded on a collapsing geometry")
+	}
+}

@@ -187,6 +187,80 @@ func sortedModelKeys(m map[string]ModelServingSnapshot) []string {
 	return keys
 }
 
+// WriteProm renders the routing-tier counters: request outcomes, hedging,
+// per-policy decisions, per-class queue-wait/latency histograms and the
+// per-replica breakdown.
+func (s RouterSnapshot) WriteProm(e *ExpositionWriter) {
+	const reqs = "drainnas_router_requests_total"
+	for _, o := range []struct {
+		outcome string
+		v       uint64
+	}{
+		{"submitted", s.Submitted}, {"throttled", s.Throttled},
+		{"no_replicas", s.NoReplicas}, {"completed", s.Completed}, {"failed", s.Failed},
+	} {
+		e.Counter(reqs, "Routed requests by outcome.", float64(o.v), "outcome", o.outcome)
+	}
+	e.Counter("drainnas_router_hedges_total", "Hedge attempts launched at straggler deadlines.", float64(s.HedgesLaunched))
+	e.Counter("drainnas_router_hedge_wins_total", "Hedge attempts that beat their primary.", float64(s.HedgeWins))
+	e.Counter("drainnas_router_losers_canceled_total", "Losing attempts canceled after a winner.", float64(s.LosersCanceled))
+	e.Counter("drainnas_router_retries_total", "Immediate error-retries dispatched.", float64(s.Retries))
+
+	e.Histogram("drainnas_router_decide_seconds", "Policy decision latency.", s.Decide)
+	e.Histogram("drainnas_router_latency_seconds", "End-to-end latency through the router.", s.Latency)
+	writeQuantileGauges(e, "drainnas_router_latency_quantile_seconds",
+		"Router end-to-end latency quantiles from the streaming histogram.", s.Latency)
+
+	for _, policy := range sortedKeys(s.PerPolicy) {
+		e.Counter("drainnas_router_decisions_total", "Routing decisions by policy.",
+			float64(s.PerPolicy[policy]), "policy", policy)
+	}
+
+	classes := sortedKeys(s.PerClass)
+	for _, class := range classes {
+		c := s.PerClass[class]
+		for _, o := range []struct {
+			outcome string
+			v       uint64
+		}{{"submitted", c.Submitted}, {"completed", c.Completed}, {"failed", c.Failed}} {
+			e.Counter("drainnas_router_class_requests_total", "Per-SLO-class requests by outcome.",
+				float64(o.v), "class", class, "outcome", o.outcome)
+		}
+	}
+	for _, class := range classes {
+		e.Histogram("drainnas_router_class_queue_wait_seconds", "Per-SLO-class wait at the scheduling gate.",
+			s.PerClass[class].QueueWait, "class", class)
+	}
+	for _, class := range classes {
+		e.Histogram("drainnas_router_class_latency_seconds", "Per-SLO-class end-to-end latency.",
+			s.PerClass[class].Latency, "class", class)
+	}
+
+	for _, id := range sortedKeys(s.PerReplica) {
+		r := s.PerReplica[id]
+		for _, o := range []struct {
+			outcome string
+			v       uint64
+		}{
+			{"picked", r.Picked}, {"completed", r.Completed}, {"failed", r.Failed},
+			{"hedged", r.Hedges}, {"retried", r.Retries},
+		} {
+			e.Counter("drainnas_router_replica_attempts_total", "Per-replica attempts by outcome.",
+				float64(o.v), "replica", id, "outcome", o.outcome)
+		}
+	}
+}
+
+// sortedKeys returns m's keys in sorted order for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // WriteProm renders the kernel counters.
 func (k KernelSnapshot) WriteProm(e *ExpositionWriter) {
 	e.Counter("drainnas_kernel_gemm_calls_total", "Matrix multiplies routed to the tiled kernel.", float64(k.GemmCalls))

@@ -1,0 +1,57 @@
+package route
+
+import "sync"
+
+// TokenBucket is the admission controller in front of the fleet: requests
+// spend one token each, tokens refill at Rate per second up to Burst, and a
+// request arriving to an empty bucket is rejected immediately (ErrThrottled
+// from the router) instead of queueing — shedding overload before it can
+// occupy dispatch slots or replica queues. Time comes from the injected
+// clock, so refill behavior is testable without wall-clock sleeps.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   int64 // clock.Now().UnixNano() of the last refill
+	clock  Clock
+}
+
+// NewTokenBucket builds a bucket refilling at rate tokens/second with the
+// given burst capacity (values < 1 are raised to 1 so a conforming request
+// can ever pass). rate <= 0 returns a bucket that admits everything.
+func NewTokenBucket(rate, burst float64, clock Clock) *TokenBucket {
+	if clock == nil {
+		clock = SystemClock
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		rate: rate, burst: burst, tokens: burst,
+		last: clock.Now().UnixNano(), clock: clock,
+	}
+}
+
+// Allow spends one token if available. A nil or unlimited bucket always
+// admits.
+func (tb *TokenBucket) Allow() bool {
+	if tb == nil || tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.clock.Now().UnixNano()
+	if now > tb.last {
+		tb.tokens += tb.rate * float64(now-tb.last) / 1e9
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

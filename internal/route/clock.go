@@ -1,0 +1,37 @@
+package route
+
+import "time"
+
+// Timer is the stoppable timer the router arms for hedging deadlines.
+type Timer interface {
+	// C fires once when the timer expires.
+	C() <-chan time.Time
+	// Stop releases the timer; it reports whether the stop preempted the
+	// fire, matching time.Timer.Stop.
+	Stop() bool
+}
+
+// Clock abstracts wall time so every time-dependent routing behavior —
+// token-bucket refill, hedging deadlines, latency measurement — can be
+// driven by a fake clock in tests instead of real sleeps. Production code
+// uses SystemClock; routetest.FakeClock advances only when told to, which is
+// what makes the policy/hedging suites deterministic.
+type Clock interface {
+	Now() time.Time
+	NewTimer(d time.Duration) Timer
+}
+
+// SystemClock is the real time.Now/time.NewTimer clock.
+var SystemClock Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTimer(d time.Duration) Timer { return systemTimer{time.NewTimer(d)} }
+
+type systemTimer struct{ t *time.Timer }
+
+func (t systemTimer) C() <-chan time.Time { return t.t.C }
+
+func (t systemTimer) Stop() bool { return t.t.Stop() }

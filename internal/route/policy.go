@@ -1,0 +1,118 @@
+package route
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Policy chooses which replica serves a request. Pick receives a non-empty
+// snapshot of the live replica set and returns an index into it (or -1 to
+// signal no viable replica). Implementations must be safe for concurrent
+// use; the replica slice is immutable for the duration of the call.
+//
+// The router also uses the policy for hedge and retry placement, calling
+// Pick over the subset of replicas not yet tried for the request — so a
+// policy expresses one preference function and the router derives "best",
+// "second best", … from it.
+type Policy interface {
+	Name() string
+	Pick(model string, replicas []Replica) int
+}
+
+// Policy names accepted by PolicyByName and the -policy flag.
+const (
+	PolicyRoundRobin  = "round-robin"
+	PolicyLeastLoaded = "least-loaded"
+	PolicyAffinity    = "affinity"
+)
+
+// PolicyByName builds a fresh policy instance from its flag name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case PolicyRoundRobin, "rr", "":
+		return &RoundRobin{}, nil
+	case PolicyLeastLoaded, "least_loaded":
+		return LeastLoaded{}, nil
+	case PolicyAffinity, "model-affinity":
+		return ModelAffinity{}, nil
+	default:
+		return nil, fmt.Errorf("route: unknown policy %q (want %s, %s or %s)",
+			name, PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity)
+	}
+}
+
+// RoundRobin spreads requests evenly in arrival order, ignoring load and
+// model identity. It is the baseline policy and the one that guarantees
+// every replica sees traffic (the router-smoke gate relies on that).
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return PolicyRoundRobin }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(model string, replicas []Replica) int {
+	if len(replicas) == 0 {
+		return -1
+	}
+	return int((p.next.Add(1) - 1) % uint64(len(replicas)))
+}
+
+// LeastLoaded picks the replica with the fewest in-flight requests (ties
+// break to the lowest index, which keeps the assignment sequence exact for
+// the golden tests). It reads each replica's Load-backed InFlight counter,
+// which is why serve.Server grew a lock-free Load() accessor.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return PolicyLeastLoaded }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(model string, replicas []Replica) int {
+	best := -1
+	var bestLoad int64
+	for i, r := range replicas {
+		if load := r.InFlight(); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// ModelAffinity routes each model to a stable replica via rendezvous
+// (highest-random-weight) hashing over replica IDs, so a replica keeps
+// serving the models whose compiled plans are warm in its cache, and a
+// replica joining or draining only remaps the models that hashed to it —
+// never reshuffling the whole fleet the way modulo hashing would.
+type ModelAffinity struct{}
+
+// Name implements Policy.
+func (ModelAffinity) Name() string { return PolicyAffinity }
+
+// Pick implements Policy.
+func (ModelAffinity) Pick(model string, replicas []Replica) int {
+	best := -1
+	var bestScore uint64
+	for i, r := range replicas {
+		if score := rendezvousScore(model, r.ID()); best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore is the pairwise weight of (model, replica). FNV-1a keeps
+// it dependency-free and stable across processes, which the golden affinity
+// test pins. The replica ID is hashed last: FNV-1a diffuses the bytes that
+// differ between candidates only through the multiplies that follow them,
+// so hashing a shared suffix after the discriminating bytes would make
+// every model crown nearly the same winner.
+func rendezvousScore(model, replicaID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(replicaID))
+	return h.Sum64()
+}

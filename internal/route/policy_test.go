@@ -1,0 +1,157 @@
+package route_test
+
+import (
+	"testing"
+
+	"drainnas/internal/route"
+	"drainnas/internal/route/routetest"
+)
+
+func fakeFleet(clock *routetest.FakeClock, ids ...string) ([]route.Replica, []*routetest.FakeReplica) {
+	reps := make([]route.Replica, len(ids))
+	fakes := make([]*routetest.FakeReplica, len(ids))
+	for i, id := range ids {
+		fakes[i] = routetest.NewFakeReplica(id, clock)
+		reps[i] = fakes[i]
+	}
+	return reps, fakes
+}
+
+func TestPolicyByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"", route.PolicyRoundRobin},
+		{"rr", route.PolicyRoundRobin},
+		{"round-robin", route.PolicyRoundRobin},
+		{"least-loaded", route.PolicyLeastLoaded},
+		{"least_loaded", route.PolicyLeastLoaded},
+		{"affinity", route.PolicyAffinity},
+		{"model-affinity", route.PolicyAffinity},
+	}
+	for _, tc := range cases {
+		p, err := route.PolicyByName(tc.name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", tc.name, err)
+		}
+		if p.Name() != tc.want {
+			t.Errorf("PolicyByName(%q).Name() = %q, want %q", tc.name, p.Name(), tc.want)
+		}
+	}
+	if _, err := route.PolicyByName("random"); err == nil {
+		t.Fatal("PolicyByName(\"random\") succeeded, want error")
+	}
+}
+
+// TestRoundRobinGolden pins the exact assignment cycle: strict rotation by
+// arrival order, wrapping at fleet size, restarting cleanly when the fleet
+// shrinks between picks.
+func TestRoundRobinGolden(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	reps, _ := fakeFleet(clock, "r0", "r1", "r2")
+	p := &route.RoundRobin{}
+
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := p.Pick("m", reps); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+	// Counter is global, not per-fleet-size: pick 8 over 2 replicas lands on
+	// 8 % 2 == 1 regardless of the earlier picks having seen 3 replicas.
+	if got := p.Pick("m", reps[:2]); got != 1 {
+		t.Fatalf("pick over shrunk fleet = %d, want 1", got)
+	}
+}
+
+// TestLeastLoadedGolden pins the choice for scripted load shapes, including
+// the lowest-index tie-break the deterministic tests rely on.
+func TestLeastLoadedGolden(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	reps, fakes := fakeFleet(clock, "r0", "r1", "r2")
+	p := route.LeastLoaded{}
+
+	cases := []struct {
+		loads [3]int64
+		want  int
+	}{
+		{[3]int64{0, 0, 0}, 0}, // all idle: lowest index
+		{[3]int64{2, 1, 3}, 1},
+		{[3]int64{1, 0, 0}, 1}, // tie between r1 and r2: lowest index
+		{[3]int64{5, 5, 1}, 2},
+		{[3]int64{0, 7, 7}, 0},
+		{[3]int64{3, 3, 3}, 0},
+	}
+	for _, tc := range cases {
+		for i, l := range tc.loads {
+			fakes[i].SetLoad(l)
+		}
+		if got := p.Pick("m", reps); got != tc.want {
+			t.Fatalf("loads %v: pick = %d, want %d", tc.loads, got, tc.want)
+		}
+	}
+}
+
+// TestModelAffinityGolden pins the rendezvous-hash assignment for a fixed
+// fleet (computed once from the FNV-1a scores and hardcoded — any change to
+// the hash input layout shows up here), plus the property that makes
+// rendezvous worth its price: draining a replica remaps only the models that
+// hashed to it.
+func TestModelAffinityGolden(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	reps, _ := fakeFleet(clock, "r0", "r1", "r2")
+	p := route.ModelAffinity{}
+
+	golden := map[string]int{
+		"m0": 1, "m1": 2, "m2": 2, "m3": 0,
+		"m4": 1, "m5": 2, "m6": 2, "m7": 0,
+	}
+	for model, want := range golden {
+		if got := p.Pick(model, reps); got != want {
+			t.Fatalf("affinity(%s) = %d, want %d", model, got, want)
+		}
+		// Placement is per-model state-free: repeat picks agree.
+		if got := p.Pick(model, reps); got != want {
+			t.Fatalf("affinity(%s) repeat = %d, want %d", model, got, want)
+		}
+	}
+
+	// Drain r1: models that were on r0/r2 must not move.
+	rest := []route.Replica{reps[0], reps[2]}
+	wantAfter := map[string]string{
+		"m0": "r0", "m1": "r2", "m2": "r2", "m3": "r0",
+		"m4": "r0", "m5": "r2", "m6": "r2", "m7": "r0",
+	}
+	for model, want := range wantAfter {
+		got := rest[p.Pick(model, rest)].ID()
+		if got != want {
+			t.Fatalf("affinity(%s) after drain = %s, want %s", model, got, want)
+		}
+		if before := golden[model]; before != 1 {
+			// Model did not live on the drained replica: must be unmoved.
+			if got != reps[before].ID() {
+				t.Fatalf("affinity(%s) moved from %s to %s on unrelated drain",
+					model, reps[before].ID(), got)
+			}
+		}
+	}
+}
+
+// TestModelAffinitySpread sanity-checks the hash actually spreads distinct
+// models over the fleet (a structural hash regression would collapse every
+// model onto one replica and still pass per-model goldens if they were
+// regenerated blindly).
+func TestModelAffinitySpread(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	reps, _ := fakeFleet(clock, "r0", "r1", "r2")
+	p := route.ModelAffinity{}
+
+	hit := map[int]int{}
+	for _, m := range []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"} {
+		hit[p.Pick(m, reps)]++
+	}
+	if len(hit) != 3 {
+		t.Fatalf("8 models landed on only %d of 3 replicas: %v", len(hit), hit)
+	}
+}

@@ -1,0 +1,146 @@
+package route_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"drainnas/internal/route"
+	"drainnas/internal/route/routetest"
+)
+
+// TestRouterConcurrentChurn is the race-detector suite: many goroutines
+// hammer one router while the replica set mutates underneath them —
+// replicas join and drain mid-flight — across all three policies. Three
+// core replicas never leave, so every request must succeed; the test pins
+// exact served accounting (N in, N completed, N attempts observed across
+// the whole fleet including drained members).
+func TestRouterConcurrentChurn(t *testing.T) {
+	policies := []func() route.Policy{
+		func() route.Policy { return &route.RoundRobin{} },
+		func() route.Policy { return route.LeastLoaded{} },
+		func() route.Policy { return route.ModelAffinity{} },
+	}
+	for _, mk := range policies {
+		policy := mk()
+		t.Run(policy.Name(), func(t *testing.T) {
+			clock := routetest.NewFakeClock()
+			core, coreFakes := fakeFleet(clock, "r0", "r1", "r2")
+			r := route.New(route.Options{Clock: clock, Policy: policy}, core...)
+			defer r.Close()
+
+			const (
+				goroutines = 8
+				perG       = 200
+			)
+			var (
+				wg      sync.WaitGroup
+				served  atomic.Int64
+				stop    = make(chan struct{})
+				churned []*routetest.FakeReplica
+			)
+
+			// Churner: transient replicas join and drain while traffic flows.
+			churnDone := make(chan struct{})
+			go func() {
+				defer close(churnDone)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rep := routetest.NewFakeReplica(fmt.Sprintf("churn-%d", i%4), clock)
+					churned = append(churned, rep)
+					r.AddReplica(rep)
+					r.RemoveReplica(fmt.Sprintf("churn-%d", i%4))
+				}
+			}()
+
+			models := []string{"m0", "m1", "m2", "m3", "m4"}
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						model := models[(g+i)%len(models)]
+						if _, err := r.Submit(context.Background(), model, testInput()); err != nil {
+							t.Errorf("goroutine %d request %d: %v", g, i, err)
+							return
+						}
+						served.Add(1)
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			<-churnDone
+
+			const want = goroutines * perG
+			if served.Load() != want {
+				t.Fatalf("served %d of %d", served.Load(), want)
+			}
+			snap := r.Stats().Snapshot()
+			if snap.Submitted != want || snap.Completed != want || snap.Failed != 0 {
+				t.Fatalf("snapshot = %+v, want submitted=completed=%d failed=0", snap, want)
+			}
+			total := 0
+			for _, f := range coreFakes {
+				total += f.CallCount()
+			}
+			for _, f := range churned {
+				total += f.CallCount()
+			}
+			if total != want {
+				t.Fatalf("fleet observed %d attempts, want %d", total, want)
+			}
+		})
+	}
+}
+
+// TestRouterConcurrentSchedGate runs the bounded-dispatch path under the
+// race detector: a small gate, mixed SLO classes, and replica churn, all
+// concurrent. The invariant is simply that everything completes — ordering
+// under concurrency is the golden tests' job, not this one's.
+func TestRouterConcurrentSchedGate(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	core, _ := fakeFleet(clock, "r0", "r1")
+	r := route.New(route.Options{
+		Clock:          clock,
+		Policy:         route.LeastLoaded{},
+		MaxInFlight:    4,
+		Sched:          route.Priority,
+		EstimateSeedMS: map[string]float64{"m0": 1, "m1": 10},
+	}, core...)
+	defer r.Close()
+
+	classes := []route.SLOClass{route.ClassBatch, route.ClassStandard, route.ClassInteractive}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				class := classes[(g+i)%len(classes)]
+				model := fmt.Sprintf("m%d", i%2)
+				if _, err := r.SubmitClass(context.Background(), class, model, testInput()); err != nil {
+					t.Errorf("goroutine %d request %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := r.Stats().Snapshot()
+	if snap.Completed != 600 || snap.Failed != 0 {
+		t.Fatalf("snapshot = %+v, want completed=600 failed=0", snap)
+	}
+	for _, class := range []string{"batch", "standard", "interactive"} {
+		if cs := snap.PerClass[class]; cs.Submitted != 200 || cs.Completed != 200 {
+			t.Fatalf("class %s = %+v, want 200/200", class, cs)
+		}
+	}
+}

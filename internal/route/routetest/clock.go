@@ -1,0 +1,123 @@
+// Package routetest is the deterministic test harness for the routing
+// tier: a manually-advanced FakeClock satisfying route.Clock, and a
+// FakeReplica fault injector with configurable latency schedules, error
+// injection and hangs. Together they let routing, hedging, scheduling and
+// admission behavior be pinned by table-driven tests that never sleep —
+// simulated time moves only when a test calls Advance.
+package routetest
+
+import (
+	"sync"
+	"time"
+
+	"drainnas/internal/route"
+)
+
+// FakeClock is an injectable clock whose time moves only via Advance.
+// Timers created through NewTimer fire (once) when Advance carries the
+// clock past their deadline.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFakeClock starts a clock at a fixed epoch (the specific instant is
+// irrelevant; only differences matter).
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now implements route.Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTimer implements route.Clock.
+func (c *FakeClock) NewTimer(d time.Duration) route.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, when: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+	} else {
+		c.timers = append(c.timers, t)
+	}
+	return t
+}
+
+// Advance moves the clock forward and fires every live timer whose deadline
+// has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	live := c.timers[:0]
+	var fire []*fakeTimer
+	for _, t := range c.timers {
+		switch {
+		case t.stopped:
+		case !t.when.After(now):
+			t.fired = true
+			fire = append(fire, t)
+		default:
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	c.mu.Unlock()
+	for _, t := range fire {
+		t.ch <- now
+	}
+}
+
+// Timers reports how many timers are armed (created, not yet fired or
+// stopped). Tests use it with AwaitTimers to know a hedge deadline or a
+// fake replica's latency wait is registered before advancing the clock.
+func (c *FakeClock) Timers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// AwaitTimers blocks until at least n timers are armed — the
+// synchronization point between a test goroutine and the code under test
+// arming clock-driven deadlines concurrently. It polls (this is a
+// quiescence wait, not a timing assertion) and gives up loudly after 10s.
+func (c *FakeClock) AwaitTimers(n int) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Timers() >= n {
+			return true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return false
+}
+
+type fakeTimer struct {
+	clock   *FakeClock
+	when    time.Time
+	ch      chan time.Time
+	fired   bool
+	stopped bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	active := !t.fired && !t.stopped
+	t.stopped = true
+	return active
+}

@@ -1,0 +1,141 @@
+package routetest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drainnas/internal/serve"
+	"drainnas/internal/tensor"
+)
+
+// FakeReplica implements route.Replica with scriptable faults. Every knob is
+// keyed by the replica-local attempt sequence number (0-based, in arrival
+// order) and the model name, so tests express scenarios as tables:
+//
+//   - Latency returns a simulated service time; the fake waits on a
+//     FakeClock timer, so the request completes only when the test advances
+//     the clock past it.
+//   - Err injects a failure for an attempt (returned after any latency).
+//   - Hang makes an attempt block until its context is canceled — the
+//     straggler that hedging and leak tests are built around.
+//   - Gate, when non-nil, makes every attempt block until the test sends on
+//     (or closes) the channel, for sequencing scheduler-order tests.
+//
+// The fake records the model of every call in order, counts attempts that
+// ended by observing ctx cancellation, and tracks in-flight attempts on top
+// of an optional SetLoad base so least-loaded tests can script load shapes
+// without issuing traffic.
+type FakeReplica struct {
+	id    string
+	clock *FakeClock
+
+	Latency func(seq int, model string) time.Duration
+	Err     func(seq int, model string) error
+	Hang    func(seq int, model string) bool
+	Gate    chan struct{}
+	// Received, when non-nil, gets the model name of each arriving call
+	// before any waiting begins. Size the buffer for the expected traffic;
+	// the send blocks otherwise.
+	Received chan string
+	// Respond overrides the canned response for a completed attempt.
+	Respond func(model string) serve.Response
+
+	mu       sync.Mutex
+	calls    []string
+	seq      int
+	canceled atomic.Int64
+	inflight atomic.Int64
+	baseLoad atomic.Int64
+}
+
+// NewFakeReplica builds a fake replica that completes every request
+// immediately with a canned response until faults are scripted.
+func NewFakeReplica(id string, clock *FakeClock) *FakeReplica {
+	return &FakeReplica{id: id, clock: clock}
+}
+
+// ID implements route.Replica.
+func (r *FakeReplica) ID() string { return r.id }
+
+// InFlight implements route.Replica: live attempts plus the SetLoad base.
+func (r *FakeReplica) InFlight() int64 { return r.inflight.Load() + r.baseLoad.Load() }
+
+// SetLoad scripts a synthetic in-flight base, so least-loaded golden tests
+// can shape the fleet's load without concurrency.
+func (r *FakeReplica) SetLoad(n int64) { r.baseLoad.Store(n) }
+
+// Calls returns the models of all attempts received so far, in order.
+func (r *FakeReplica) Calls() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.calls...)
+}
+
+// CallCount returns how many attempts this replica has received.
+func (r *FakeReplica) CallCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.calls)
+}
+
+// CanceledCount reports how many attempts ended by observing their context
+// canceled — the signal hedging's loser cancellation actually reached the
+// replica.
+func (r *FakeReplica) CanceledCount() int64 { return r.canceled.Load() }
+
+// Submit implements route.Replica.
+func (r *FakeReplica) Submit(ctx context.Context, model string, input *tensor.Tensor) (serve.Response, error) {
+	r.mu.Lock()
+	seq := r.seq
+	r.seq++
+	r.calls = append(r.calls, model)
+	r.mu.Unlock()
+
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+
+	if r.Received != nil {
+		r.Received <- model
+	}
+
+	if r.Hang != nil && r.Hang(seq, model) {
+		<-ctx.Done()
+		r.canceled.Add(1)
+		return serve.Response{}, ctx.Err()
+	}
+
+	if r.Gate != nil {
+		select {
+		case <-r.Gate:
+		case <-ctx.Done():
+			r.canceled.Add(1)
+			return serve.Response{}, ctx.Err()
+		}
+	}
+
+	if r.Latency != nil {
+		if d := r.Latency(seq, model); d > 0 {
+			t := r.clock.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C():
+			case <-ctx.Done():
+				r.canceled.Add(1)
+				return serve.Response{}, ctx.Err()
+			}
+		}
+	}
+
+	if r.Err != nil {
+		if err := r.Err(seq, model); err != nil {
+			return serve.Response{}, err
+		}
+	}
+
+	if r.Respond != nil {
+		return r.Respond(model), nil
+	}
+	return serve.Response{Model: model, Class: 0, Logits: []float32{1, 0}, BatchSize: 1}, nil
+}

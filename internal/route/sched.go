@@ -1,0 +1,286 @@
+package route
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// SLOClass is a request's service-level class. It orders dispatch under the
+// Priority scheduler: Interactive preempts Standard preempts Batch when
+// dispatch slots are scarce. The zero value is ClassStandard so an
+// unannotated request gets middle-of-the-road treatment.
+type SLOClass int
+
+// The three classes, lowest priority first.
+const (
+	ClassStandard SLOClass = iota
+	ClassBatch
+	ClassInteractive
+)
+
+// String names the class as it appears on the wire ("slo" field) and in
+// metrics labels.
+func (c SLOClass) String() string {
+	switch c {
+	case ClassBatch:
+		return "batch"
+	case ClassInteractive:
+		return "interactive"
+	case ClassStandard:
+		return "standard"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// priority is the dispatch rank under the Priority scheduler; larger wins.
+func (c SLOClass) priority() int {
+	switch c {
+	case ClassInteractive:
+		return 2
+	case ClassStandard:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ParseClass maps the wire name to a class; empty means standard.
+func ParseClass(s string) (SLOClass, error) {
+	switch s {
+	case "", "standard":
+		return ClassStandard, nil
+	case "batch":
+		return ClassBatch, nil
+	case "interactive":
+		return ClassInteractive, nil
+	default:
+		return ClassStandard, fmt.Errorf("route: unknown SLO class %q (want batch, standard or interactive)", s)
+	}
+}
+
+// SchedMode selects how waiting requests are ordered when dispatch slots
+// free up.
+type SchedMode int
+
+const (
+	// FCFS dispatches in arrival order.
+	FCFS SchedMode = iota
+	// Priority dispatches by SLO class (interactive > standard > batch),
+	// FCFS within a class.
+	Priority
+	// SJF dispatches the request with the smallest predicted latency first
+	// (estimates come from latmeter predictions seeded at startup, refined
+	// by a measured EWMA), FCFS among equals. Classic shortest-job-first:
+	// minimizes mean wait when job lengths differ by model.
+	SJF
+)
+
+// String names the mode as accepted by -sched.
+func (m SchedMode) String() string {
+	switch m {
+	case Priority:
+		return "priority"
+	case SJF:
+		return "sjf"
+	default:
+		return "fcfs"
+	}
+}
+
+// ParseSchedMode maps the flag name to a mode; empty means FCFS.
+func ParseSchedMode(s string) (SchedMode, error) {
+	switch s {
+	case "", "fcfs":
+		return FCFS, nil
+	case "priority":
+		return Priority, nil
+	case "sjf":
+		return SJF, nil
+	default:
+		return FCFS, fmt.Errorf("route: unknown scheduler %q (want fcfs, priority or sjf)", s)
+	}
+}
+
+// waiter is one request parked at the dispatch gate.
+type waiter struct {
+	seq       uint64
+	class     SLOClass
+	estMS     float64
+	ready     chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// waiterHeap orders waiters by the gate's scheduling mode. It implements
+// heap.Interface; ties always break by arrival sequence so every mode is a
+// total, deterministic order — the property the golden scheduling tests pin.
+type waiterHeap struct {
+	mode SchedMode
+	ws   []*waiter
+}
+
+func (h *waiterHeap) Len() int { return len(h.ws) }
+
+func (h *waiterHeap) Less(i, j int) bool {
+	a, b := h.ws[i], h.ws[j]
+	switch h.mode {
+	case Priority:
+		if pa, pb := a.class.priority(), b.class.priority(); pa != pb {
+			return pa > pb
+		}
+	case SJF:
+		if a.estMS != b.estMS {
+			return a.estMS < b.estMS
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (h *waiterHeap) Swap(i, j int) { h.ws[i], h.ws[j] = h.ws[j], h.ws[i] }
+
+func (h *waiterHeap) Push(x any) { h.ws = append(h.ws, x.(*waiter)) }
+
+func (h *waiterHeap) Pop() any {
+	old := h.ws
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	h.ws = old[:n-1]
+	return w
+}
+
+// gate is a counting semaphore whose waiters are granted in scheduler order
+// rather than FIFO: this is where SLO classes and predicted latency shape
+// the dispatch sequence ("priority batch formation" at the fleet tier —
+// which requests reach the replicas' batchers first). A nil gate is
+// unlimited.
+type gate struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	seq      uint64
+	heap     waiterHeap
+}
+
+func newGate(capacity int, mode SchedMode) *gate {
+	if capacity <= 0 {
+		return nil
+	}
+	return &gate{capacity: capacity, heap: waiterHeap{mode: mode}}
+}
+
+// acquire blocks until the request is granted a dispatch slot in scheduler
+// order, or ctx ends. A grant that races a cancellation is handed on to the
+// next waiter, never lost.
+func (g *gate) acquire(ctx context.Context, class SLOClass, estMS float64) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	if g.inUse < g.capacity && g.heap.Len() == 0 {
+		g.inUse++
+		g.mu.Unlock()
+		return nil
+	}
+	w := &waiter{seq: g.seq, class: class, estMS: estMS, ready: make(chan struct{})}
+	g.seq++
+	heap.Push(&g.heap, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: pass the slot on.
+			g.mu.Unlock()
+			g.release()
+		} else {
+			w.abandoned = true
+			g.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns a slot and grants it to the best waiter, skipping
+// abandoned ones lazily.
+func (g *gate) release() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.inUse--
+	for g.inUse < g.capacity && g.heap.Len() > 0 {
+		w := heap.Pop(&g.heap).(*waiter)
+		if w.abandoned {
+			continue
+		}
+		w.granted = true
+		g.inUse++
+		close(w.ready)
+	}
+	g.mu.Unlock()
+}
+
+// waiting reports how many requests are parked at the gate.
+func (g *gate) waiting() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, w := range g.heap.ws {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// latencyEstimator supplies the SJF scheduler's per-model latency estimate:
+// a static seed (typically latmeter predictions computed from each model's
+// compiled plan at startup) overlaid by an exponentially-weighted moving
+// average of measured end-to-end latency, so estimates self-correct as real
+// traffic flows. Unknown models estimate 0, degrading SJF to FCFS for them.
+type latencyEstimator struct {
+	mu   sync.Mutex
+	seed map[string]float64
+	ewma map[string]float64
+}
+
+// ewmaAlpha weights new observations; 0.2 smooths batch-size and cache
+// noise while still tracking drift within a few dozen requests.
+const ewmaAlpha = 0.2
+
+func newLatencyEstimator(seed map[string]float64) *latencyEstimator {
+	e := &latencyEstimator{seed: make(map[string]float64, len(seed)), ewma: map[string]float64{}}
+	for k, v := range seed {
+		e.seed[k] = v
+	}
+	return e
+}
+
+func (e *latencyEstimator) estimateMS(model string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ms, ok := e.ewma[model]; ok {
+		return ms
+	}
+	return e.seed[model]
+}
+
+func (e *latencyEstimator) observeMS(model string, ms float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.ewma[model]; ok {
+		e.ewma[model] = prev + ewmaAlpha*(ms-prev)
+	} else {
+		e.ewma[model] = ms
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"drainnas/internal/infer"
+)
+
+// DirLoader maps model keys to compiled plans backed by .dnnx container
+// files under dir. A key is the file's base name with or without the .dnnx
+// extension; path traversal is rejected as not-found. Both cmd/servd and
+// every in-process replica behind cmd/router share this loader, so a fleet
+// over one model directory resolves keys identically on every replica.
+func DirLoader(dir string) func(key string) (*infer.Plan, error) {
+	return func(key string) (*infer.Plan, error) {
+		if key == "" {
+			return nil, fmt.Errorf("empty model key: %w", fs.ErrNotExist)
+		}
+		if strings.ContainsAny(key, `/\`) || strings.Contains(key, "..") {
+			return nil, fmt.Errorf("model key %q: %w", key, fs.ErrNotExist)
+		}
+		name := key
+		if !strings.HasSuffix(name, ".dnnx") {
+			name += ".dnnx"
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return infer.LoadPlan(f)
+	}
+}
+
+// ListModels returns the model keys (base names without extension) a
+// DirLoader over dir would resolve, or the directory error so health
+// endpoints can surface an unreadable model dir instead of reporting an
+// empty-but-healthy fleet.
+func ListModels(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dnnx") {
+			keys = append(keys, strings.TrimSuffix(e.Name(), ".dnnx"))
+		}
+	}
+	return keys, nil
+}

@@ -164,6 +164,12 @@ type Server struct {
 	depth  int    // admitted-but-unfinished requests
 	closed bool
 
+	// load mirrors depth as a lock-free counter so routing tiers can read a
+	// replica's in-flight count on every pick without contending on mu or
+	// allocating a stats snapshot. It moves in lockstep with depth: +1 on
+	// admission, -1 when the request leaves (completed, failed or canceled).
+	load atomic.Int64
+
 	// dispatchers tracks flushes between taking a batch and handing it to
 	// the pool, so Close can drain them before closing the pool.
 	dispatchers sync.WaitGroup
@@ -231,6 +237,7 @@ func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor)
 		return Response{}, ErrQueueFull
 	}
 	s.depth++
+	s.load.Add(1)
 	s.opts.Stats.Enqueued(model)
 	g := s.groups[key]
 	if g == nil {
@@ -265,6 +272,7 @@ func (s *Server) Submit(ctx context.Context, model string, input *tensor.Tensor)
 			s.mu.Lock()
 			s.depth--
 			s.mu.Unlock()
+			s.load.Add(-1)
 		}
 		return Response{}, ctx.Err()
 	}
@@ -362,6 +370,7 @@ func (s *Server) execute(key groupKey, batch []*pending) {
 	s.mu.Lock()
 	s.depth -= len(claimed)
 	s.mu.Unlock()
+	s.load.Add(-int64(len(claimed)))
 	for i, p := range claimed {
 		resp := Response{
 			Model:     key.model,
@@ -380,6 +389,7 @@ func (s *Server) fail(model string, claimed []*pending, err error) {
 	s.mu.Lock()
 	s.depth -= len(claimed)
 	s.mu.Unlock()
+	s.load.Add(-int64(len(claimed)))
 	for _, p := range claimed {
 		s.opts.Stats.Failed(model)
 		p.done <- result{err: err}
@@ -392,6 +402,13 @@ func (s *Server) QueueDepth() int {
 	defer s.mu.Unlock()
 	return s.depth
 }
+
+// Load is the lock-free equivalent of QueueDepth: the number of
+// admitted-but-unfinished requests, readable on every routing decision
+// without taking the server mutex. It is incremented exactly once per
+// admitted Submit and decremented exactly once when the request completes,
+// fails, or is canceled, so at quiescence it always reads 0.
+func (s *Server) Load() int64 { return s.load.Load() }
 
 // Close flushes every pending batch, waits for in-flight work, and shuts
 // the worker pool down. Requests admitted before Close still complete;

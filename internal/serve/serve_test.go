@@ -533,6 +533,74 @@ func TestStaleTimerCannotFlushLaterIncarnation(t *testing.T) {
 	}
 }
 
+// TestLoadTracksSubmitCompleteExactly is the regression test for the
+// in-flight accessor the routing tier reads on every pick: Load must move in
+// lockstep with admissions and departures — +1 per admitted Submit, -1 per
+// completion, failure or cancellation — never drifting from QueueDepth, and
+// reading 0 at quiescence. Before Load existed the router had to scrape a
+// full stats snapshot (mutex + map copy) per routing decision.
+func TestLoadTracksSubmitCompleteExactly(t *testing.T) {
+	loader, _ := testLoader(t)
+	s := NewServer(loader, Options{MaxBatch: 64, MaxDelay: time.Minute, QueueCap: 64})
+
+	if got := s.Load(); got != 0 {
+		t.Fatalf("fresh server Load() = %d, want 0", got)
+	}
+
+	// Queue requests that cannot flush (size-64 batch, 1-minute delay): Load
+	// must count each admission exactly once.
+	const queued = 5
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), "m", testInput(uint64(i))); err != nil {
+				t.Errorf("queued submit %d: %v", i, err)
+			}
+		}(i)
+		waitFor(t, func() bool { return s.Load() == int64(i+1) })
+		if got, want := s.Load(), int64(s.QueueDepth()); got != want {
+			t.Fatalf("Load() = %d diverged from QueueDepth() = %d", got, want)
+		}
+	}
+
+	// A canceled waiter decrements exactly once.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelDone := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, "m", testInput(99))
+		cancelDone <- err
+	}()
+	waitFor(t, func() bool { return s.Load() == queued+1 })
+	cancel()
+	if err := <-cancelDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit: err %v", err)
+	}
+	waitFor(t, func() bool { return s.Load() == queued })
+
+	// Close flushes the queued batch; every completion decrements, back to 0.
+	s.Close()
+	wg.Wait()
+	if got := s.Load(); got != 0 {
+		t.Fatalf("Load() = %d after drain, want 0", got)
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth() = %d after drain, want 0", got)
+	}
+
+	// Failure path: a failing loader must also decrement.
+	boom := errors.New("disk on fire")
+	sf := NewServer(func(string) (*infer.Plan, error) { return nil, boom }, Options{MaxDelay: time.Millisecond})
+	defer sf.Close()
+	if _, err := sf.Submit(context.Background(), "m", testInput(1)); !errors.Is(err, boom) {
+		t.Fatalf("failing submit: err %v", err)
+	}
+	if got := sf.Load(); got != 0 {
+		t.Fatalf("Load() = %d after failed request, want 0", got)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -59,6 +59,18 @@ func (pc *PackedConv) OutSize(h, w int) (oh, ow int) {
 	return ConvOut(h, pc.kh, pc.stride, pc.pad), ConvOut(w, pc.kw, pc.stride, pc.pad)
 }
 
+// KernelSize returns the filter's spatial extent (KH, KW).
+func (pc *PackedConv) KernelSize() (kh, kw int) { return pc.kh, pc.kw }
+
+// Stride returns the convolution stride.
+func (pc *PackedConv) Stride() int { return pc.stride }
+
+// Pad returns the spatial zero-padding applied to each border.
+func (pc *PackedConv) Pad() int { return pc.pad }
+
+// HasReLU reports whether a ReLU epilogue is fused into the convolution.
+func (pc *PackedConv) HasReLU() bool { return pc.relu }
+
 // ForwardInto convolves input (N, C, H, W) into the caller-provided out
 // (N, OC, OH, OW), applying the fused bias/ReLU epilogue. out must not alias
 // input. It allocates nothing beyond pooled scratch, so a steady-state
