@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke quant-parity
 
-ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke quant-parity
 
 vet:
 	$(GO) vet ./...
@@ -45,18 +45,26 @@ obs-smoke:
 router-smoke:
 	$(GO) test -race -count=1 -run 'RouterSmoke|RouterBinarySJFSeeding' ./cmd/router
 
+# Int8 parity gate: randomized PaperSpace models trained on a miniature
+# drainage corpus, quantized plans held to the documented logit-error and
+# top-1-agreement bounds against the float oracle.
+quant-parity:
+	$(GO) test -count=1 -run 'TestQuantParity' ./internal/infer
+
 # Short fuzz smoke runs: the container decoder and the runtime loader must
-# reject arbitrary input without panicking.
+# reject arbitrary input without panicking, and the int8 quantizer must
+# round-trip arbitrary (value, scale) pairs within its saturation bounds.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/onnxsize
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/onnxsize
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/infer
+	$(GO) test -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME) ./internal/tensor
 
 # Kernel benchmark selections: the GEMM shapes, the conv/training ablations,
 # and the batch-1 fused-inference path.
 KBENCH_TENSOR = ^(BenchmarkMM256|BenchmarkMM512|BenchmarkMMWide|BenchmarkGEMMKernelOnly)$$
 KBENCH_ROOT   = ^(BenchmarkAblation_ConvParallelism|BenchmarkTrainingStep|BenchmarkAblation_BNFolding)$$
-IBENCH        = ^(BenchmarkInterpretedBatch1|BenchmarkCompiledBatch1|BenchmarkInterpretedBatch8|BenchmarkCompiledBatch8)$$
+IBENCH        = ^(BenchmarkInterpretedBatch1|BenchmarkCompiledBatch1|BenchmarkQuantizedBatch1|BenchmarkInterpretedBatch8|BenchmarkCompiledBatch8|BenchmarkQuantizedBatch8)$$
 
 # Appends one run record (ns/op + GFLOP/s per shape, plus machine/kernel
 # metadata) to the checked-in BENCH_kernels.json trajectory.

@@ -10,9 +10,9 @@
 // The API mirrors servd's /v1/ surface so clients and probes move between
 // tiers unchanged:
 //
-//	POST /v1/predict   {"model","shape","data","slo"?} ->
-//	                   {"model","class","logits","batch_size","queued_ms",
-//	                    "total_ms","replica","hedged"?}
+//	POST /v1/predict   {"model","shape","data","slo"?,"precision"?} ->
+//	                   {"model","precision","class","logits","batch_size",
+//	                    "queued_ms","total_ms","replica","hedged"?}
 //	GET  /v1/stats     routing counters (per policy/class/replica) plus the
 //	                   fleet's aggregated serving counters
 //	GET  /v1/metrics   the same in Prometheus text exposition format
@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"drainnas/internal/httpx"
+	"drainnas/internal/infer"
 	"drainnas/internal/latmeter"
 	"drainnas/internal/metrics"
 	"drainnas/internal/route"
@@ -176,8 +177,12 @@ func main() {
 
 // seedEstimates prices every deployed model's compiled plan on the named
 // latmeter device, giving the SJF scheduler latency estimates before the
-// first request. An empty device name disables seeding (estimates then
-// start at 0 and come entirely from the measured EWMA).
+// first request. Each model is seeded in both precisions — the fp32 key
+// from its cost graph directly, and the "@int8" key from the same graph
+// under latmeter's int8 cost scale — so a quantized request is ordered by
+// its cheaper cost from the first dispatch. An empty device name disables
+// seeding (estimates then start at 0 and come entirely from the measured
+// EWMA).
 func seedEstimates(device, modelDir string, inputSize int) (map[string]float64, error) {
 	if device == "" {
 		return nil, nil
@@ -191,7 +196,7 @@ func seedEstimates(device, modelDir string, inputSize int) (map[string]float64, 
 		return nil, fmt.Errorf("seeding estimates: %w", err)
 	}
 	loader := serve.DirLoader(modelDir)
-	seeds := make(map[string]float64, len(keys))
+	seeds := make(map[string]float64, 2*len(keys))
 	for _, key := range keys {
 		plan, err := loader(key)
 		if err != nil {
@@ -205,6 +210,9 @@ func seedEstimates(device, modelDir string, inputSize int) (map[string]float64, 
 			continue
 		}
 		seeds[key] = dev.LatencyMS(g)
+		qg := g
+		qg.CostScale = latmeter.Int8CostScale
+		seeds[infer.ModelKey(key, infer.PrecisionInt8)] = dev.LatencyMS(qg)
 	}
 	return seeds, nil
 }
@@ -231,7 +239,12 @@ func newAPI(router *route.Router, serving *metrics.ServingStats, modelDir string
 			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
 			return
 		}
-		resp, err := router.SubmitClass(r.Context(), class, req.Model, input)
+		key, err := req.ResolveKey()
+		if err != nil {
+			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			return
+		}
+		resp, err := router.SubmitClass(r.Context(), class, key, input)
 		if err != nil {
 			status, code := http.StatusInternalServerError, httpx.CodeInternal
 			switch {
@@ -253,8 +266,10 @@ func newAPI(router *route.Router, serving *metrics.ServingStats, modelDir string
 			httpx.Error(w, status, code, err.Error())
 			return
 		}
+		model, precision := httpx.SplitServedModel(resp.Model)
 		httpx.WriteJSON(w, http.StatusOK, httpx.PredictResponse{
-			Model:     resp.Model,
+			Model:     model,
+			Precision: precision,
 			Class:     resp.Class,
 			Logits:    resp.Logits,
 			BatchSize: resp.BatchSize,

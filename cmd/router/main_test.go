@@ -531,3 +531,62 @@ func TestRouterBinarySJFSeeding(t *testing.T) {
 		t.Fatalf("router accepted an unknown predict device:\n%s", out)
 	}
 }
+
+// TestSeedEstimatesIncludeInt8Keys pins the precision-aware SJF seeding:
+// every deployed model gets an estimate in both precisions, with the int8
+// form strictly cheaper by the cost scale.
+func TestSeedEstimatesIncludeInt8Keys(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	seeds, err := seedEstimates("cortexA76cpu", dir, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tiny", "wide"} {
+		f, ok := seeds[name]
+		if !ok {
+			t.Fatalf("no fp32 seed for %s: %v", name, seeds)
+		}
+		q, ok := seeds[name+"@int8"]
+		if !ok {
+			t.Fatalf("no int8 seed for %s: %v", name, seeds)
+		}
+		if !(q < f) {
+			t.Fatalf("%s: int8 seed %.4f not below fp32 %.4f", name, q, f)
+		}
+	}
+}
+
+// TestRouterServesInt8Precision routes an int8 request across the fleet and
+// checks the response attribution carries the precision.
+func TestRouterServesInt8Precision(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	router, serving, _ := testFleet(t, dir, 2, route.Options{})
+	ts := httptest.NewServer(newAPI(router, serving, dir))
+	defer ts.Close()
+
+	x := tensor.RandNormal(tensor.NewRNG(5), 1, 3, 16, 16)
+	body, err := json.Marshal(httpx.PredictRequest{
+		Model: "tiny", Precision: "int8",
+		Shape: []int{3, 16, 16}, Data: x.Data(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("int8 predict status %d", resp.StatusCode)
+	}
+	var pr httpx.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "tiny" || pr.Precision != "int8" || len(pr.Logits) != 2 || pr.Replica == "" {
+		t.Fatalf("malformed int8 routed prediction %+v", pr)
+	}
+}

@@ -9,9 +9,13 @@
 // API (canonical paths under /v1/; /healthz and /metrics remain as
 // unversioned aliases for probes and scrapers configured before the move):
 //
-//	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...]}
-//	                   -> {"model","class","logits","batch_size",
-//	                       "queued_ms","total_ms"}
+//	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...],
+//	                    "precision":"int8"?}
+//	                   -> {"model","precision","class","logits",
+//	                       "batch_size","queued_ms","total_ms"}
+//	                   precision selects the deployment arithmetic: "int8"
+//	                   serves the post-training-quantized form of the same
+//	                   container (equivalently, model "name@int8")
 //	GET  /v1/stats     serving counters + model cache + infer plan/session
 //	                   counters + GEMM kernel counters
 //	GET  /v1/metrics   the same counters in Prometheus text exposition
@@ -177,7 +181,12 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, codeBadInput, err.Error())
 			return
 		}
-		resp, err := srv.Submit(r.Context(), req.Model, input)
+		key, err := req.ResolveKey()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, codeBadInput, err.Error())
+			return
+		}
+		resp, err := srv.Submit(r.Context(), key, input)
 		if err != nil {
 			status, code := http.StatusInternalServerError, codeInternal
 			switch {
@@ -195,8 +204,10 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			httpError(w, status, code, err.Error())
 			return
 		}
+		model, precision := httpx.SplitServedModel(resp.Model)
 		writeJSON(w, http.StatusOK, predictResponse{
-			Model:     resp.Model,
+			Model:     model,
+			Precision: precision,
 			Class:     resp.Class,
 			Logits:    resp.Logits,
 			BatchSize: resp.BatchSize,
@@ -213,6 +224,7 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 			"infer":   metrics.Infer.Snapshot(),
 			"kernel":  metrics.Kernel.Snapshot(),
 			"gemm":    tensor.GemmKernelName(),
+			"qgemm":   tensor.QGemmKernelName(),
 		})
 	})
 

@@ -732,3 +732,96 @@ func waitForHealthy(t *testing.T, url string) {
 	}
 	t.Fatal("server never became healthy")
 }
+
+// TestAPIPredictPrecision exercises the int8 deployment path end to end:
+// the precision field and the "@int8" key suffix select the quantized form
+// of the same container, the response reports the precision it ran at, and
+// /v1/stats names the active int8 kernel.
+func TestAPIPredictPrecision(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(newAPI(srv, dir))
+	defer ts.Close()
+
+	post := func(body []byte) (*http.Response, predictResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr predictResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, pr
+	}
+
+	// Precision via the request field.
+	x := tensor.RandNormal(tensor.NewRNG(5), 1, cfg.Channels, 16, 16)
+	body, err := json.Marshal(predictRequest{
+		Model: "tiny", Precision: "int8",
+		Shape: []int{cfg.Channels, 16, 16}, Data: x.Data(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, pr := post(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("int8 predict status %d", resp.StatusCode)
+	}
+	if pr.Model != "tiny" || pr.Precision != "int8" || len(pr.Logits) != cfg.NumClasses {
+		t.Fatalf("malformed int8 prediction %+v", pr)
+	}
+
+	// The same selection via the key suffix.
+	resp, pr = post(predictBody(t, cfg, "tiny@int8"))
+	if resp.StatusCode != http.StatusOK || pr.Precision != "int8" || pr.Model != "tiny" {
+		t.Fatalf("suffixed int8 predict: status %d, %+v", resp.StatusCode, pr)
+	}
+
+	// An fp32 request reports its precision too.
+	resp, pr = post(predictBody(t, cfg, "tiny"))
+	if resp.StatusCode != http.StatusOK || pr.Precision != "fp32" {
+		t.Fatalf("fp32 predict: status %d, %+v", resp.StatusCode, pr)
+	}
+
+	// Conflicting selectors are a client error.
+	body, err = json.Marshal(predictRequest{
+		Model: "tiny@int8", Precision: "fp32",
+		Shape: []int{cfg.Channels, 16, 16}, Data: x.Data(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := post(body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting precision status %d, want 400", resp.StatusCode)
+	}
+
+	// Stats carry both kernel names and the cache holds both forms.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Cache struct {
+			Len int `json:"len"`
+		} `json:"cache"`
+		Gemm  string `json:"gemm"`
+		QGemm string `json:"qgemm"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Len != 2 {
+		t.Fatalf("cache holds %d entries, want the fp32 and int8 forms", stats.Cache.Len)
+	}
+	if stats.Gemm == "" || stats.QGemm == "" {
+		t.Fatalf("kernel names missing from stats: gemm=%q qgemm=%q", stats.Gemm, stats.QGemm)
+	}
+}

@@ -1,0 +1,104 @@
+// Quantized serving: compile one PaperSpace model into a float32 plan and
+// its int8 post-training-quantized form, run both through warm sessions, and
+// print the measured latency distributions (report.LatencyBars) with the
+// int8 speedup. The -precision flag selects which plan a serving tier would
+// deploy — the same "model@int8" selector servd and the router accept on
+// /v1/predict.
+//
+//	go run ./examples/quantized_serving            # compare fp32 vs int8
+//	go run ./examples/quantized_serving -precision int8
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"drainnas/internal/infer"
+	"drainnas/internal/metrics"
+	"drainnas/internal/onnxsize"
+	"drainnas/internal/report"
+	"drainnas/internal/resnet"
+	"drainnas/internal/tensor"
+)
+
+const (
+	inputSize = 32
+	rounds    = 400
+)
+
+func main() {
+	precision := flag.String("precision", "", `serve only one precision ("fp32" or "int8"); empty compares both`)
+	flag.Parse()
+	if *precision != "" {
+		if _, err := infer.ParsePrecision(*precision); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One of the paper's lean non-dominated configurations, exported to the
+	// .dnnx container format the serving tier loads.
+	cfg := resnet.Config{
+		Channels: 5, Batch: 8,
+		KernelSize: 7, Stride: 2, Padding: 3,
+		PoolChoice: 1, KernelSizePool: 3, StridePool: 2,
+		InitialOutputFeature: 16, NumClasses: 2,
+	}
+	m, err := resnet.New(cfg, tensor.NewRNG(41))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := onnxsize.Export(m, &buf); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile the float plan, then derive the int8 plan from it: per-channel
+	// weight scales, activation ranges calibrated on synthetic geodata chips.
+	fplan, err := infer.LoadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qplan, err := fplan.QuantizeSynthetic(inputSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x := tensor.RandNormal(tensor.NewRNG(9), 1, 1, cfg.Channels, inputSize, inputSize)
+	means := map[infer.Precision]float64{}
+	for _, plan := range []*infer.Plan{fplan, qplan} {
+		prec := plan.Precision()
+		if *precision != "" && string(prec) != *precision {
+			continue
+		}
+		snap, mean := measure(plan, x)
+		means[prec] = mean
+		fmt.Println(report.LatencyBars(fmt.Sprintf("model@%s batch-1 forward", prec), snap, 40))
+	}
+	if f, q := means[infer.PrecisionFP32], means[infer.PrecisionInt8]; f > 0 && q > 0 {
+		fmt.Printf("int8 speedup: %.2fx (fp32 %.3fms -> int8 %.3fms per forward)\n", f/q, f, q)
+	}
+}
+
+// measure runs warm batch-1 forwards and returns the latency histogram the
+// serving tier would export on /metrics, plus the mean in milliseconds.
+func measure(plan *infer.Plan, x *tensor.Tensor) (metrics.HistogramSnapshot, float64) {
+	sess := plan.NewSession()
+	if _, err := sess.Forward(x); err != nil {
+		log.Fatal(err)
+	}
+	hist := metrics.NewHistogram()
+	var total time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := sess.Forward(x); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(start)
+		hist.Observe(d)
+		total += d
+	}
+	return hist.Snapshot(), total.Seconds() * 1000 / rounds
+}

@@ -34,6 +34,12 @@ type Trial struct {
 	PerDevice map[string]float64 `json:"per_device_ms"`
 	MemoryMB  float64            `json:"memory_mb"` // ONNX export size
 	EnergyMJ  float64            `json:"energy_mj"` // mean per-inference energy
+	// Precision is the arithmetic the measurements assume ("fp32" or
+	// "int8"); PrecisionBits is the same fact as a numeric Pareto axis.
+	// Empty/zero (e.g. journals persisted before quantization existed)
+	// means fp32.
+	Precision     string `json:"precision,omitempty"`
+	PrecisionBits int    `json:"precision_bits,omitempty"`
 }
 
 // Options configures a pipeline run.
@@ -121,13 +127,15 @@ func Measure(cfg resnet.Config, accuracy float64, inputSize int) (Trial, error) 
 		return Trial{}, err
 	}
 	return Trial{
-		Config:    cfg,
-		Accuracy:  accuracy,
-		LatencyMS: pred.MeanMS,
-		LatStdMS:  pred.StdMS,
-		PerDevice: pred.PerDevice,
-		MemoryMB:  mem,
-		EnergyMJ:  energy.MeanMJ,
+		Config:        cfg,
+		Accuracy:      accuracy,
+		LatencyMS:     pred.MeanMS,
+		LatStdMS:      pred.StdMS,
+		PerDevice:     pred.PerDevice,
+		MemoryMB:      mem,
+		EnergyMJ:      energy.MeanMJ,
+		Precision:     PrecisionFP32,
+		PrecisionBits: 32,
 	}, nil
 }
 

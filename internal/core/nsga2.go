@@ -32,6 +32,22 @@ type NSGA2Options struct {
 	Seed uint64
 	// Workers is evaluation parallelism per generation.
 	Workers int
+	// Precisions lists the deployment precisions the search may assign to
+	// an architecture ("fp32", "int8"). Default is fp32 only, which keeps
+	// the classic 3-objective behavior bit-for-bit. With more than one
+	// entry each individual is a (config, precision) pair, objectives grow
+	// a fourth axis (precision bits, minimized), and int8 individuals are
+	// measured through MeasureQuantized. Accuracy evaluation is shared
+	// across precisions of the same config — the expensive part of the
+	// budget is spent once.
+	Precisions []string
+}
+
+// individual is one NSGA-II population member: an architecture plus the
+// precision it would deploy at.
+type individual struct {
+	cfg  resnet.Config
+	prec string
 }
 
 // NSGA2Result reports the search outcome.
@@ -79,48 +95,83 @@ func NSGA2(opts NSGA2Options) (*NSGA2Result, error) {
 	}
 	rng := tensor.NewRNG(opts.Seed ^ 0x45A2)
 
-	// Cache of evaluated configs: identical raw configs share a trial.
-	cache := make(map[resnet.Config]Trial)
-	evaluate := func(cfgs []resnet.Config) ([]Trial, error) {
-		out := make([]Trial, len(cfgs))
-		errs := make([]error, len(cfgs))
-		var misses []int
-		for i, cfg := range cfgs {
-			if t, ok := cache[cfg]; ok {
-				out[i] = t
-			} else {
-				misses = append(misses, i)
+	precs := opts.Precisions
+	if len(precs) == 0 {
+		precs = []string{PrecisionFP32}
+	}
+	for _, p := range precs {
+		if p != PrecisionFP32 && p != PrecisionInt8 {
+			return nil, fmt.Errorf("core: unknown precision %q", p)
+		}
+	}
+	// An fp32-only search keeps the paper's 3 objectives (and the classic
+	// behavior, draw for draw); any search that deploys int8 gains the
+	// precision-bits axis.
+	objs := Objectives
+	points := trialPoints
+	if len(precs) > 1 || precs[0] != PrecisionFP32 {
+		objs = QuantObjectives
+		points = quantTrialPoints
+	}
+
+	// Accuracy is cached per raw config — fp32 and int8 forms of the same
+	// architecture share the expensive evaluation — while measured trials
+	// are cached per (config, precision) pair.
+	accCache := make(map[resnet.Config]float64)
+	cache := make(map[individual]Trial)
+	evaluate := func(inds []individual) ([]Trial, error) {
+		out := make([]Trial, len(inds))
+		var accMiss []resnet.Config
+		seen := make(map[resnet.Config]bool)
+		for _, ind := range inds {
+			if _, ok := cache[ind]; ok {
+				continue
+			}
+			if _, ok := accCache[ind.cfg]; !ok && !seen[ind.cfg] {
+				seen[ind.cfg] = true
+				accMiss = append(accMiss, ind.cfg)
 			}
 		}
-		parallel.Map(len(misses), opts.Workers, func(mi int) {
-			i := misses[mi]
-			acc, err := opts.Evaluator.Evaluate(cfgs[i])
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			t, err := Measure(cfgs[i], acc, opts.InputSize)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i] = t
+		accs := make([]float64, len(accMiss))
+		errs := make([]error, len(accMiss))
+		parallel.Map(len(accMiss), opts.Workers, func(i int) {
+			accs[i], errs[i] = opts.Evaluator.Evaluate(accMiss[i])
 		})
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
 		}
-		for _, i := range misses {
-			cache[cfgs[i]] = out[i]
+		for i, cfg := range accMiss {
+			accCache[cfg] = accs[i]
+		}
+		for i, ind := range inds {
+			t, ok := cache[ind]
+			if !ok {
+				var err error
+				if ind.prec == PrecisionInt8 {
+					t, err = MeasureQuantized(ind.cfg, accCache[ind.cfg], opts.InputSize)
+				} else {
+					t, err = Measure(ind.cfg, accCache[ind.cfg], opts.InputSize)
+				}
+				if err != nil {
+					return nil, err
+				}
+				cache[ind] = t
+			}
+			out[i] = t
 		}
 		return out, nil
 	}
 
-	// Initial population.
-	parents := make([]resnet.Config, pop)
+	// Initial population; precisions round-robin so both forms seed the
+	// front without spending extra randomness.
+	parents := make([]individual, pop)
 	for i := range parents {
-		parents[i] = opts.Space.RandomConfig(opts.Combo, rng)
+		parents[i] = individual{
+			cfg:  opts.Space.RandomConfig(opts.Combo, rng),
+			prec: precs[i%len(precs)],
+		}
 	}
 	parentTrials, err := evaluate(parents)
 	if err != nil {
@@ -128,7 +179,7 @@ func NSGA2(opts NSGA2Options) (*NSGA2Result, error) {
 	}
 
 	for g := 0; g < gens; g++ {
-		ranks, crowd := rankAndCrowd(parentTrials)
+		ranks, crowd := rankAndCrowd(parentTrials, points, objs)
 		tournament := func() int {
 			a, b := rng.Intn(len(parents)), rng.Intn(len(parents))
 			if ranks[a] < ranks[b] {
@@ -142,14 +193,23 @@ func NSGA2(opts NSGA2Options) (*NSGA2Result, error) {
 			}
 			return b
 		}
-		offspring := make([]resnet.Config, pop)
+		offspring := make([]individual, pop)
 		for i := range offspring {
 			pa, pb := tournament(), tournament()
-			child := opts.Space.Crossover(parents[pa], parents[pb], rng)
+			child := opts.Space.Crossover(parents[pa].cfg, parents[pb].cfg, rng)
 			if rng.Float64() < mut {
 				child = opts.Space.Mutate(child, rng)
 			}
-			offspring[i] = child
+			prec := parents[pa].prec
+			if len(precs) > 1 {
+				if rng.Intn(2) == 1 {
+					prec = parents[pb].prec
+				}
+				if rng.Float64() < mut {
+					prec = precs[rng.Intn(len(precs))]
+				}
+			}
+			offspring[i] = individual{cfg: child, prec: prec}
 		}
 		offspringTrials, err := evaluate(offspring)
 		if err != nil {
@@ -157,9 +217,9 @@ func NSGA2(opts NSGA2Options) (*NSGA2Result, error) {
 		}
 
 		// Environmental selection over the merged population.
-		merged := append(append([]resnet.Config{}, parents...), offspring...)
+		merged := append(append([]individual{}, parents...), offspring...)
 		mergedTrials := append(append([]Trial{}, parentTrials...), offspringTrials...)
-		sel := environmentalSelect(mergedTrials, pop)
+		sel := environmentalSelect(mergedTrials, pop, points, objs)
 		parents = parents[:0]
 		parentTrials = parentTrials[:0]
 		for _, idx := range sel {
@@ -168,13 +228,13 @@ func NSGA2(opts NSGA2Options) (*NSGA2Result, error) {
 		}
 	}
 
-	res := &NSGA2Result{Evaluated: len(cache)}
+	res := &NSGA2Result{Evaluated: len(accCache)}
 	for _, t := range cache {
 		res.AllTrials = append(res.AllTrials, t)
 	}
 	// Final front from the last population.
-	pts := trialPoints(parentTrials)
-	for _, i := range pareto.NonDominated(pts, Objectives) {
+	pts := points(parentTrials)
+	for _, i := range pareto.NonDominated(pts, objs) {
 		res.Front = append(res.Front, parentTrials[i])
 	}
 	sort.Slice(res.Front, func(a, b int) bool { return res.Front[a].Accuracy > res.Front[b].Accuracy })
@@ -190,10 +250,11 @@ func trialPoints(trials []Trial) []pareto.Point {
 	return pts
 }
 
-// rankAndCrowd computes each member's front rank and crowding distance.
-func rankAndCrowd(trials []Trial) (ranks []int, crowd []float64) {
-	pts := trialPoints(trials)
-	fronts := pareto.Fronts(pts, Objectives)
+// rankAndCrowd computes each member's front rank and crowding distance
+// under the given objective projection.
+func rankAndCrowd(trials []Trial, points func([]Trial) []pareto.Point, objs []pareto.Direction) (ranks []int, crowd []float64) {
+	pts := points(trials)
+	fronts := pareto.Fronts(pts, objs)
 	ranks = make([]int, len(trials))
 	crowd = make([]float64, len(trials))
 	for r, front := range fronts {
@@ -207,9 +268,9 @@ func rankAndCrowd(trials []Trial) (ranks []int, crowd []float64) {
 }
 
 // environmentalSelect keeps the best `keep` members by (rank, crowding).
-func environmentalSelect(trials []Trial, keep int) []int {
-	pts := trialPoints(trials)
-	fronts := pareto.Fronts(pts, Objectives)
+func environmentalSelect(trials []Trial, keep int, points func([]Trial) []pareto.Point, objs []pareto.Direction) []int {
+	pts := points(trials)
+	fronts := pareto.Fronts(pts, objs)
 	var selected []int
 	for _, front := range fronts {
 		if len(selected)+len(front) <= keep {
@@ -243,12 +304,17 @@ func environmentalSelect(trials []Trial, keep int) []int {
 	return selected
 }
 
-// dedupeTrials removes trials with identical canonical configurations.
+// dedupeTrials removes trials with identical canonical configurations at
+// the same precision — the fp32 and int8 forms of one architecture are
+// distinct front members.
 func dedupeTrials(trials []Trial) []Trial {
 	seen := make(map[string]bool, len(trials))
 	var out []Trial
 	for _, t := range trials {
 		key := t.Config.Key()
+		if t.Precision == PrecisionInt8 {
+			key += "@int8"
+		}
 		if seen[key] {
 			continue
 		}

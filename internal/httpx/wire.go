@@ -3,6 +3,7 @@ package httpx
 import (
 	"fmt"
 
+	"drainnas/internal/infer"
 	"drainnas/internal/tensor"
 )
 
@@ -19,6 +20,31 @@ type PredictRequest struct {
 	Shape []int     `json:"shape"` // (C, H, W)
 	Data  []float32 `json:"data"`
 	SLO   string    `json:"slo,omitempty"`
+	// Precision selects the deployment arithmetic ("fp32" default, or
+	// "int8" for the post-training-quantized form of the same container).
+	// Equivalent to suffixing Model with "@int8"; setting both to
+	// conflicting values is a bad_input error.
+	Precision string `json:"precision,omitempty"`
+}
+
+// ResolveKey combines Model and Precision into the canonical serving key
+// ("name" for fp32, "name@int8" for int8) the loader and model cache use.
+func (req PredictRequest) ResolveKey() (string, error) {
+	name, keyPrec, err := infer.ParseModelKey(req.Model)
+	if err != nil {
+		return "", err
+	}
+	if req.Precision == "" {
+		return infer.ModelKey(name, keyPrec), nil
+	}
+	prec, err := infer.ParsePrecision(req.Precision)
+	if err != nil {
+		return "", err
+	}
+	if keyPrec != infer.PrecisionFP32 && keyPrec != prec {
+		return "", fmt.Errorf("model %q and precision %q conflict", req.Model, req.Precision)
+	}
+	return infer.ModelKey(name, prec), nil
 }
 
 // PredictResponse is the POST /v1/predict success body. Replica is set by
@@ -33,6 +59,20 @@ type PredictResponse struct {
 	TotalMS   float64   `json:"total_ms"`
 	Replica   string    `json:"replica,omitempty"`
 	Hedged    bool      `json:"hedged,omitempty"`
+	// Precision reports the arithmetic the serving plan ran at ("fp32" or
+	// "int8"); Model is the bare model name with any precision suffix
+	// stripped.
+	Precision string `json:"precision,omitempty"`
+}
+
+// SplitServedModel splits a serving key back into the response's bare model
+// name and precision string, treating unparseable keys as fp32 passthrough.
+func SplitServedModel(key string) (model, precision string) {
+	name, prec, err := infer.ParseModelKey(key)
+	if err != nil {
+		return key, string(infer.PrecisionFP32)
+	}
+	return name, string(prec)
 }
 
 // Tensor validates the request's shape/data agreement and builds the input

@@ -108,3 +108,50 @@ func BenchmarkCompiledBatch8(b *testing.B) {
 		}
 	}
 }
+
+// benchQuantPlan compiles and quantizes the benchmark model once per run.
+func benchQuantPlan(b *testing.B) *Plan {
+	b.Helper()
+	plan, err := LoadPlan(bytes.NewReader(benchContainer(b)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qplan, err := plan.QuantizeSynthetic(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qplan
+}
+
+// BenchmarkQuantizedBatch1 is the int8 number against BenchmarkCompiledBatch1:
+// the same plan post-training-quantized, run through a warm session (arena
+// built, int8 panels packed).
+func BenchmarkQuantizedBatch1(b *testing.B) {
+	sess := benchQuantPlan(b).NewSession()
+	x := benchInput(1)
+	if _, err := sess.Forward(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantizedBatch8(b *testing.B) {
+	sess := benchQuantPlan(b).NewSession()
+	x := benchInput(8)
+	if _, err := sess.Forward(x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

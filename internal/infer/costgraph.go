@@ -100,5 +100,9 @@ func (p *Plan) CostGraph(inputSize int) (latmeter.Graph, error) {
 			return latmeter.Graph{}, fmt.Errorf("infer: op %s has no cost-model kernel", op.name)
 		}
 	}
-	return latmeter.Graph{Kernels: ks, InputSize: inputSize}, nil
+	g := latmeter.Graph{Kernels: ks, InputSize: inputSize}
+	if p.Precision() == PrecisionInt8 {
+		g.CostScale = latmeter.Int8CostScale
+	}
+	return g, nil
 }

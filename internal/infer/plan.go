@@ -40,6 +40,12 @@ type planOp struct {
 	conv                *tensor.PackedConv // opConv, opFC
 	kernel, stride, pad int                // opMaxPool
 	relu                bool               // opAdd: trailing ReLU fused into the join
+
+	// Int8 payloads, set by Plan.Quantize. Quantized ops keep conv too: the
+	// cost graph and shape inference read geometry from it either way.
+	qconv  *tensor.QuantizedConv // opConv
+	ra, rb float32               // opAdd: input scale ratios sa/so, sb/so
+	ratio  float32               // opGlobalAvgPool: dequantizing input scale
 }
 
 // Plan is a model compiled for repeated execution: the residual topology
@@ -60,6 +66,11 @@ type Plan struct {
 	numVals int
 	lastUse []int // lastUse[v]: index of the last op reading value v; -1 if never read
 	outVal  int
+
+	// precision is PrecisionFP32 for compiled plans and PrecisionInt8 for
+	// plans produced by Quantize; inScale is the int8 input activation scale.
+	precision Precision
+	inScale   float32
 
 	sessions sync.Pool
 }
@@ -82,7 +93,7 @@ func LoadPlan(r io.Reader) (*Plan, error) {
 // optionally through a layerS.B.down.* projection.
 func Compile(dec *onnxsize.Decoded) (*Plan, error) {
 	c := &compiler{graph: dec.Graph, weights: dec.Weights}
-	p := &Plan{name: dec.Graph.Name, inC: -1, outVal: -1}
+	p := &Plan{name: dec.Graph.Name, inC: -1, outVal: -1, precision: PrecisionFP32}
 
 	nodes := dec.Graph.Nodes
 	cur := 0
@@ -389,6 +400,19 @@ func (p *Plan) InputChannels() int { return p.inC }
 
 // Classes returns the logit width the plan produces.
 func (p *Plan) Classes() int { return p.classes }
+
+// Precision returns the plan's numeric mode. Plans predating the field
+// (zero value) are fp32.
+func (p *Plan) Precision() Precision {
+	if p.precision == "" {
+		return PrecisionFP32
+	}
+	return p.precision
+}
+
+// InputScale returns the input activation scale of an int8 plan (0 for
+// fp32 plans).
+func (p *Plan) InputScale() float32 { return p.inScale }
 
 // OpCount returns the number of fused ops the plan executes per forward —
 // observably smaller than the node count thanks to Conv+BN+ReLU and

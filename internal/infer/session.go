@@ -34,6 +34,13 @@ type arena struct {
 	// conv path needs no per-call reshaping. Indexed by op position.
 	fcIn  []*tensor.Tensor
 	fcOut []*tensor.Tensor
+
+	// Int8-plan state: s8 activation slabs per value id (the same liveness
+	// recycling as vals), their shapes, and the quantized form of the
+	// caller's input. The terminal float value still lives in vals.
+	qvals [][]int8
+	qdims [][]int
+	qin   []int8
 }
 
 // NewSession creates an executor for the plan.
@@ -71,6 +78,9 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 
 	p := s.plan
+	if p.Precision() == PrecisionInt8 {
+		return p.forwardQuantized(x, ar)
+	}
 	for idx := range p.ops {
 		op := &p.ops[idx]
 		in := ar.vals[op.in]
@@ -121,6 +131,9 @@ func (s *Session) Classify(x *tensor.Tensor) ([]int, error) {
 func (p *Plan) buildArena(key arenaKey) (*arena, error) {
 	if key.n <= 0 || key.h <= 0 || key.w <= 0 {
 		return nil, fmt.Errorf("infer: input shape [%d %d %d %d] has non-positive dims", key.n, p.inC, key.h, key.w)
+	}
+	if p.Precision() == PrecisionInt8 {
+		return p.buildQuantArena(key)
 	}
 	shapes := make([][]int, p.numVals)
 	shapes[0] = []int{key.n, p.inC, key.h, key.w}
@@ -208,4 +221,136 @@ func (p *Plan) buildArena(key arenaKey) (*arena, error) {
 		}
 	}
 	return ar, nil
+}
+
+// buildQuantArena is buildArena for int8 plans: the same shape inference and
+// liveness-driven slab recycling, with s8 slabs for every intermediate value
+// and a float tensor only for the terminal (dequantized) output.
+func (p *Plan) buildQuantArena(key arenaKey) (*arena, error) {
+	shapes := make([][]int, p.numVals)
+	shapes[0] = []int{key.n, p.inC, key.h, key.w}
+	ar := &arena{
+		vals:  make([]*tensor.Tensor, p.numVals),
+		fcIn:  make([]*tensor.Tensor, len(p.ops)),
+		fcOut: make([]*tensor.Tensor, len(p.ops)),
+		qvals: make([][]int8, p.numVals),
+		qdims: shapes,
+		qin:   make([]int8, key.n*p.inC*key.h*key.w),
+	}
+	var free [][]int8
+	alloc := func(numel int) []int8 {
+		best := -1
+		for i, sl := range free {
+			if cap(sl) >= numel && (best < 0 || cap(free[best]) > cap(sl)) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			sl := free[best][:numel]
+			free[best] = free[len(free)-1]
+			free = free[:len(free)-1]
+			return sl
+		}
+		return make([]int8, numel)
+	}
+
+	for idx := range p.ops {
+		op := &p.ops[idx]
+		in := shapes[op.in]
+		var out []int
+		switch op.kind {
+		case opConv:
+			oh, ow := op.conv.OutSize(in[2], in[3])
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("infer: input %dx%d too small for conv %s", key.h, key.w, op.name)
+			}
+			out = []int{in[0], op.conv.OutChannels(), oh, ow}
+		case opRelu:
+			out = append([]int(nil), in...)
+		case opMaxPool:
+			oh := tensor.ConvOut(in[2], op.kernel, op.stride, op.pad)
+			ow := tensor.ConvOut(in[3], op.kernel, op.stride, op.pad)
+			if oh <= 0 || ow <= 0 {
+				return nil, fmt.Errorf("infer: input %dx%d too small for pool %s", key.h, key.w, op.name)
+			}
+			out = []int{in[0], in[1], oh, ow}
+		case opAdd:
+			in2 := shapes[op.in2]
+			if len(in) != len(in2) {
+				return nil, fmt.Errorf("infer: Add %s rank mismatch %v vs %v", op.name, in, in2)
+			}
+			for d := range in {
+				if in[d] != in2[d] {
+					return nil, fmt.Errorf("infer: Add %s shape mismatch %v vs %v", op.name, in, in2)
+				}
+			}
+			out = append([]int(nil), in...)
+		case opGlobalAvgPool:
+			out = []int{in[0], in[1]}
+		case opFC:
+			out = []int{in[0], op.conv.OutChannels()}
+		}
+		numel := 1
+		for _, d := range out {
+			numel *= d
+			if numel <= 0 || numel > maxArenaElems {
+				return nil, fmt.Errorf("infer: op %s output shape %v exceeds the arena bound", op.name, out)
+			}
+		}
+		shapes[op.out] = out
+		// The dequantizing head (global pool and FC) produces float values;
+		// everything else lives in the s8 slabs.
+		if op.kind == opGlobalAvgPool || op.kind == opFC {
+			ar.vals[op.out] = tensor.New(out...)
+		} else {
+			ar.qvals[op.out] = alloc(numel)
+		}
+		if op.kind == opFC {
+			ar.fcIn[idx] = tensor.FromSlice(ar.vals[op.in].Data(), in[0], in[1], 1, 1)
+			ar.fcOut[idx] = tensor.FromSlice(ar.vals[op.out].Data(), out[0], out[1], 1, 1)
+		}
+		// Recycle int8 slabs only — float head values never re-enter the
+		// s8 free list (ar.qvals[v] is nil for them).
+		for _, v := range []int{op.in, op.in2} {
+			if v > 0 && v != op.out && ar.qvals[v] != nil && p.lastUse[v] == idx && (v != op.in2 || op.in2 != op.in) {
+				free = append(free, ar.qvals[v])
+			}
+		}
+	}
+	return ar, nil
+}
+
+// forwardQuantized executes an int8 plan: quantize the caller's input once,
+// run the integer op list over the s8 arena, and return the float logits the
+// terminal op dequantized into.
+func (p *Plan) forwardQuantized(x *tensor.Tensor, ar *arena) (*tensor.Tensor, error) {
+	tensor.QuantizeInto(ar.qin, x.Data(), p.inScale)
+	for idx := range p.ops {
+		op := &p.ops[idx]
+		ins := ar.qdims[op.in]
+		in := ar.qvals[op.in]
+		if op.in == 0 {
+			in = ar.qin
+		}
+		switch op.kind {
+		case opConv:
+			op.qconv.ForwardInto(ar.qvals[op.out], nil, in, ins[0], ins[2], ins[3])
+		case opRelu:
+			tensor.QReLUInto(ar.qvals[op.out], in)
+		case opMaxPool:
+			tensor.QMaxPool2DInto(ar.qvals[op.out], in, ins[0], ins[1], ins[2], ins[3], op.kernel, op.stride, op.pad)
+		case opAdd:
+			in2 := ar.qvals[op.in2]
+			if op.in2 == 0 {
+				in2 = ar.qin
+			}
+			tensor.QAddInto(ar.qvals[op.out], in, in2, op.ra, op.rb, op.relu)
+		case opGlobalAvgPool:
+			tensor.QGlobalAvgPoolFloatInto(ar.vals[op.out].Data(), in, ins[0], ins[1], ins[2], ins[3], op.ratio)
+		case opFC:
+			// The float classifier head, exactly as in the fp32 path.
+			op.conv.ForwardInto(ar.fcOut[idx], ar.fcIn[idx])
+		}
+	}
+	return ar.vals[p.outVal], nil
 }

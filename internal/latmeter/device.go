@@ -96,11 +96,19 @@ func (d Device) KernelLatencyMS(k Kernel) float64 {
 	return t
 }
 
-// LatencyMS predicts the whole graph's latency in milliseconds.
+// LatencyMS predicts the whole graph's latency in milliseconds. A graph
+// with a precision CostScale has each kernel's work term scaled while the
+// per-kernel dispatch overhead stays fixed — quantization speeds up the
+// arithmetic, not the scheduler.
 func (d Device) LatencyMS(g Graph) float64 {
+	scale := g.CostScale
+	if scale <= 0 {
+		scale = 1
+	}
+	overhead := d.OverheadUS / 1e3
 	total := 0.0
 	for _, k := range g.Kernels {
-		total += d.KernelLatencyMS(k)
+		total += (d.KernelLatencyMS(k)-overhead)*scale + overhead
 	}
 	return total
 }

@@ -57,6 +57,13 @@ func PredictEnergy(cfg resnet.Config, inputSize int) (EnergyPrediction, error) {
 	if err != nil {
 		return EnergyPrediction{}, err
 	}
+	return PredictEnergyGraph(g), nil
+}
+
+// PredictEnergyGraph estimates energy for an already-decomposed graph on all
+// devices — the entry point for callers that adjust the graph first (e.g.
+// setting CostScale for an int8 deployment).
+func PredictEnergyGraph(g Graph) EnergyPrediction {
 	devices := Devices()
 	p := EnergyPrediction{PerDevice: make(map[string]float64, len(devices))}
 	sum := 0.0
@@ -66,5 +73,5 @@ func PredictEnergy(cfg resnet.Config, inputSize int) (EnergyPrediction, error) {
 		sum += e
 	}
 	p.MeanMJ = sum / float64(len(devices))
-	return p, nil
+	return p
 }

@@ -106,11 +106,24 @@ func (k Kernel) Bytes() float64 {
 	}
 }
 
+// Int8CostScale is the compute-time coefficient of int8 execution relative
+// to float32 on the modeled CPUs, calibrated from the measured ratio of the
+// packed int8 GEMM to the AVX2 float kernel in this repo's inference
+// benchmarks (BENCH_infer.json run 2: quantized/compiled ns/op = 0.58 at
+// batch 1 and 0.64 at batch 8; 0.6 splits the difference). Dispatch
+// overhead is precision-independent, so the scale applies to kernel work
+// only — see Device.LatencyMS.
+const Int8CostScale = 0.6
+
 // Graph is an ordered kernel sequence for one model.
 type Graph struct {
 	Kernels []Kernel
 	// InputSize is the image side the graph was built for.
 	InputSize int
+	// CostScale scales each kernel's work term (not the dispatch overhead)
+	// for non-fp32 precision modes; 0 means 1 (fp32). Int8 graphs carry
+	// Int8CostScale.
+	CostScale float64
 }
 
 // TotalFLOPs sums FLOPs over the graph.

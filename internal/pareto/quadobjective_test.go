@@ -1,0 +1,177 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drainnas/internal/tensor"
+)
+
+// Four-objective coverage: the quantization work makes precision bits a
+// fourth axis (accuracy ↑, latency ↓, memory ↓, bits ↓), so the dominance
+// machinery is exercised at arity 4 with the discrete, heavily-tied values
+// that axis produces.
+
+var ammmm = []Direction{Maximize, Minimize, Minimize, Minimize}
+
+// rand4D draws NAS-shaped 4-objective points; the bits axis is discrete
+// {8, 32} so ties and duplicate coordinates are common, as in real fronts.
+func rand4D(rng *tensor.RNG, n int) []Point {
+	bits := []float64{8, 32}
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = pt(i, rng.Float64(), rng.Float64()*100, rng.Float64()*50, bits[rng.Intn(2)])
+	}
+	return points
+}
+
+func TestFrontsAgreeWithNaive4D(t *testing.T) {
+	f := func(seed uint64) bool {
+		points := rand4D(tensor.NewRNG(seed), 40)
+		naive := NonDominated(points, ammmm)
+		fronts := Fronts(points, ammmm)
+		if len(fronts) == 0 {
+			return len(naive) == 0
+		}
+		if len(fronts[0]) != len(naive) {
+			return false
+		}
+		set := map[int]bool{}
+		for _, i := range fronts[0] {
+			set[i] = true
+		}
+		for _, i := range naive {
+			if !set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontsPartitionAllPoints4D(t *testing.T) {
+	f := func(seed uint64) bool {
+		points := rand4D(tensor.NewRNG(seed), 30)
+		fronts := Fronts(points, ammmm)
+		seen := map[int]int{}
+		for _, front := range fronts {
+			for _, i := range front {
+				seen[i]++
+			}
+		}
+		if len(seen) != len(points) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// No member of front k may dominate a member of front j<k.
+		for k := 1; k < len(fronts); k++ {
+			for _, i := range fronts[k] {
+				for _, j := range fronts[k-1] {
+					if Dominates(points[i], points[j], ammmm) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstantFourthAxisMatchesThreeObjective pins the compatibility fact
+// the search layer relies on: when every point shares the same bits value,
+// the 4-objective front is exactly the 3-objective front.
+func TestConstantFourthAxisMatchesThreeObjective(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 30
+		p3 := make([]Point, n)
+		p4 := make([]Point, n)
+		for i := 0; i < n; i++ {
+			a, l, m := rng.Float64(), rng.Float64()*100, rng.Float64()*50
+			p3[i] = pt(i, a, l, m)
+			p4[i] = pt(i, a, l, m, 32)
+		}
+		f3 := NonDominated(p3, amm)
+		f4 := NonDominated(p4, ammmm)
+		if len(f3) != len(f4) {
+			return false
+		}
+		for i := range f3 {
+			if f3[i] != f4[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrowdingDistanceConstantAxisStaysFinite(t *testing.T) {
+	points := []Point{
+		pt(0, 0.96, 8.0, 11.0, 32),
+		pt(1, 0.94, 6.0, 10.0, 32),
+		pt(2, 0.92, 4.0, 9.0, 32),
+		pt(3, 0.90, 2.0, 8.0, 32),
+	}
+	front := []int{0, 1, 2, 3}
+	dist := CrowdingDistance(points, front)
+	finite := 0
+	for _, d := range dist {
+		if !math.IsInf(d, 1) {
+			if math.IsNaN(d) {
+				t.Fatal("NaN crowding distance on a constant objective")
+			}
+			finite++
+		}
+	}
+	if finite != 2 {
+		t.Fatalf("expected 2 interior finite distances, got %d (%v)", finite, dist)
+	}
+}
+
+func TestHypervolume4DKnownValue(t *testing.T) {
+	// All-minimize unit-box pair with a quarter overlap.
+	mins := []Direction{Minimize, Minimize, Minimize, Minimize}
+	points := []Point{
+		pt(0, 0, 0.5, 0, 0),
+		pt(1, 0.5, 0, 0, 0),
+	}
+	ref := []float64{1, 1, 1, 1}
+	// vol(a)=0.5, vol(b)=0.5, overlap=0.25 → union 0.75.
+	if got := Hypervolume(points, mins, ref); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("4-D hypervolume %.6f, want 0.75", got)
+	}
+}
+
+func TestHypervolume4DMixedDirections(t *testing.T) {
+	// NAS-shaped: fp32 point vs int8 point under
+	// (accuracy ↑, latency ↓, memory ↓, bits ↓).
+	points := []Point{
+		pt(0, 0.90, 10, 5, 32),
+		pt(1, 0.88, 6, 4, 8),
+	}
+	ref := []float64{0.80, 20, 10, 40}
+	// box0 = 0.10·10·5·8 = 40; box1 = 0.08·14·6·32 = 215.04;
+	// overlap = 0.08·10·5·8 = 32 → union 223.04.
+	if got := Hypervolume(points, ammmm, ref); math.Abs(got-223.04) > 1e-9 {
+		t.Fatalf("mixed-direction 4-D hypervolume %.6f, want 223.04", got)
+	}
+	// A dominated 4-D point must add nothing.
+	withDominated := append(append([]Point{}, points...), pt(2, 0.85, 12, 6, 32))
+	if got := Hypervolume(withDominated, ammmm, ref); math.Abs(got-223.04) > 1e-9 {
+		t.Fatalf("dominated point changed 4-D hypervolume to %.6f", got)
+	}
+}

@@ -10,11 +10,20 @@ import (
 	"drainnas/internal/infer"
 )
 
+// QuantCalibSize is the chip side the loader calibrates with when it
+// materializes an int8 plan from a float container — the same miniature
+// geodata statistics the PTQ parity harness uses.
+const QuantCalibSize = 32
+
 // DirLoader maps model keys to compiled plans backed by .dnnx container
 // files under dir. A key is the file's base name with or without the .dnnx
-// extension; path traversal is rejected as not-found. Both cmd/servd and
-// every in-process replica behind cmd/router share this loader, so a fleet
-// over one model directory resolves keys identically on every replica.
+// extension, optionally carrying a precision selector ("culvert@int8"):
+// the float container is loaded and post-training-quantized at load time,
+// so one exported artifact serves both precisions and the cache holds them
+// as distinct entries. Path traversal and malformed keys are rejected as
+// not-found. Both cmd/servd and every in-process replica behind cmd/router
+// share this loader, so a fleet over one model directory resolves keys
+// identically on every replica.
 func DirLoader(dir string) func(key string) (*infer.Plan, error) {
 	return func(key string) (*infer.Plan, error) {
 		if key == "" {
@@ -23,7 +32,10 @@ func DirLoader(dir string) func(key string) (*infer.Plan, error) {
 		if strings.ContainsAny(key, `/\`) || strings.Contains(key, "..") {
 			return nil, fmt.Errorf("model key %q: %w", key, fs.ErrNotExist)
 		}
-		name := key
+		name, prec, err := infer.ParseModelKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("model key %q: %v: %w", key, err, fs.ErrNotExist)
+		}
 		if !strings.HasSuffix(name, ".dnnx") {
 			name += ".dnnx"
 		}
@@ -32,14 +44,22 @@ func DirLoader(dir string) func(key string) (*infer.Plan, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return infer.LoadPlan(f)
+		plan, err := infer.LoadPlan(f)
+		if err != nil {
+			return nil, err
+		}
+		if prec == infer.PrecisionInt8 {
+			return plan.QuantizeSynthetic(QuantCalibSize)
+		}
+		return plan, nil
 	}
 }
 
 // ListModels returns the model keys (base names without extension) a
 // DirLoader over dir would resolve, or the directory error so health
 // endpoints can surface an unreadable model dir instead of reporting an
-// empty-but-healthy fleet.
+// empty-but-healthy fleet. Keys are the fp32 forms; each also resolves
+// with an "@int8" suffix.
 func ListModels(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drainnas/internal/infer"
+	"drainnas/internal/tensor"
+)
+
+// TestDirLoaderPrecisionKeys pins the "@int8" selector: one exported
+// container resolves in both precisions, with the int8 form quantized at
+// load time.
+func TestDirLoaderPrecisionKeys(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "culvert.dnnx"), tinyContainer(t, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := DirLoader(dir)
+
+	fplan, err := loader("culvert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fplan.Precision() != infer.PrecisionFP32 {
+		t.Fatalf("bare key precision %q", fplan.Precision())
+	}
+
+	qplan, err := loader("culvert@int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qplan.Precision() != infer.PrecisionInt8 {
+		t.Fatalf("int8 key precision %q", qplan.Precision())
+	}
+	// The quantized plan must actually run.
+	logits, err := qplan.Forward(tensor.RandNormal(tensor.NewRNG(3), 1, 1, 3, 16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Dim(1) != 2 {
+		t.Fatalf("logit shape %v", logits.Shape())
+	}
+
+	// The fp32 suffix is accepted and maps to the bare form.
+	if p, err := loader("culvert@fp32"); err != nil || p.Precision() != infer.PrecisionFP32 {
+		t.Fatalf("fp32-suffixed key: plan %v err %v", p, err)
+	}
+
+	// Malformed precision suffixes are not-found, not 500s.
+	if _, err := loader("culvert@fp17"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("bad precision suffix error %v, want fs.ErrNotExist", err)
+	}
+	if _, err := loader("@int8"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty name error %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestServerServesBothPrecisionsOfOneContainer runs fp32 and int8 requests
+// for the same model through one Server: the cache holds the two forms as
+// distinct entries and both answer.
+func TestServerServesBothPrecisionsOfOneContainer(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.dnnx"), tinyContainer(t, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(DirLoader(dir), Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+
+	ctx := context.Background()
+	fresp, err := srv.Submit(ctx, "m", testInput(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp, err := srv.Submit(ctx, "m@int8", testInput(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Model != "m" || qresp.Model != "m@int8" {
+		t.Fatalf("response keys %q / %q", fresp.Model, qresp.Model)
+	}
+	if len(fresp.Logits) != 2 || len(qresp.Logits) != 2 {
+		t.Fatalf("logit lengths %d / %d", len(fresp.Logits), len(qresp.Logits))
+	}
+	if srv.Cache().Stats().Len != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (one per precision)", srv.Cache().Stats().Len)
+	}
+}

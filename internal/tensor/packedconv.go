@@ -71,6 +71,15 @@ func (pc *PackedConv) Pad() int { return pc.pad }
 // HasReLU reports whether a ReLU epilogue is fused into the convolution.
 func (pc *PackedConv) HasReLU() bool { return pc.relu }
 
+// Weights returns the (OC, C, KH, KW) weight tensor. Callers must treat it
+// as read-only; the PTQ pass (internal/infer) reads it to derive the int8
+// form of a compiled plan.
+func (pc *PackedConv) Weights() *Tensor { return pc.weight }
+
+// Bias returns the bias slice (nil when the convolution has none), also
+// read-only.
+func (pc *PackedConv) Bias() []float32 { return pc.bias }
+
 // ForwardInto convolves input (N, C, H, W) into the caller-provided out
 // (N, OC, OH, OW), applying the fused bias/ReLU epilogue. out must not alias
 // input. It allocates nothing beyond pooled scratch, so a steady-state

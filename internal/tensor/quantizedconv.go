@@ -1,0 +1,451 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"drainnas/internal/parallel"
+)
+
+// QuantizedConv is the int8 execution unit of quantized inference plans:
+// the integer sibling of PackedConv. Construction quantizes the float
+// weights per output channel (bounded to ±QWeightMax for the AVX2 kernel's
+// saturation-free guarantee), precomputes the +128 activation-offset
+// compensation, and folds the input/weight/output scales plus the bias into
+// a per-channel requantize (or dequantize) epilogue fused with the optional
+// ReLU. The weight panels pack lazily on first use and are kept for the
+// value's lifetime, so a steady-state forward allocates nothing beyond
+// pooled scratch.
+//
+// A QuantizedConv is immutable after construction and safe for concurrent
+// use.
+type QuantizedConv struct {
+	qw   []int8    // oc×kdim quantized weights, |q| ≤ QWeightMax
+	comp []int32   // per-oc u8-offset compensation: 128·Σ_k qw[o][k]
+	mult []float32 // per-oc epilogue multiplier (see below)
+	add  []float32 // per-oc epilogue addend (see below)
+
+	oc, c, kh, kw int
+	stride, pad   int
+	relu          bool
+	floatOut      bool
+
+	once sync.Once
+	qa   packedQA
+
+	// Degenerate-spatial fast path (1×1 output whose receptive field covers
+	// the whole input): the im2col matrix is mostly zero padding, so the
+	// forward instead runs a pruned GEMV over just the valid taps. Built
+	// lazily for the first qualifying (h, w); see buildDegenerate.
+	degenOnce      sync.Once
+	degenQA        packedQA
+	degenComp      []int32
+	degenH, degenW int
+}
+
+// NewQuantizedConv builds the int8 form of a convolution with float weight
+// (OC, C, KH, KW), optional bias (nil or length OC), stride, padding and an
+// optional fused ReLU. inScale is the symmetric scale of the s8 input
+// activations. outScale > 0 selects int8 output — the epilogue requantizes
+// to the given output scale — while outScale ≤ 0 selects float32 output
+// (the dequantizing tail op of a quantized plan).
+//
+// The fused epilogue evaluates, per output channel o and int32 accumulator
+// acc:
+//
+//	v = mult[o]·(acc − comp[o]) + add[o]
+//
+// with mult[o] = inScale·wScale[o]/outScale and add[o] = bias[o]/outScale
+// for int8 output (v is then rounded and clamped, ReLU as a 0 lower clamp),
+// or mult[o] = inScale·wScale[o] and add[o] = bias[o] for float output.
+func NewQuantizedConv(weight *Tensor, bias []float32, stride, pad int, relu bool, inScale, outScale float32) *QuantizedConv {
+	oc, c, kh, kw := dims4("NewQuantizedConv weight", weight)
+	if bias != nil && len(bias) != oc {
+		panic(fmt.Sprintf("tensor: NewQuantizedConv bias length %d, want %d", len(bias), oc))
+	}
+	if stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("tensor: NewQuantizedConv stride=%d pad=%d", stride, pad))
+	}
+	inScale = sanitizeScale(inScale)
+	kdim := c * kh * kw
+	qw, wScales := QuantizeWeightsPerChannel(weight.Data(), oc, kdim)
+
+	qc := &QuantizedConv{
+		qw:   qw,
+		comp: make([]int32, oc),
+		mult: make([]float32, oc),
+		add:  make([]float32, oc),
+		oc:   oc, c: c, kh: kh, kw: kw,
+		stride: stride, pad: pad,
+		relu:     relu,
+		floatOut: outScale <= 0,
+	}
+	for o := 0; o < oc; o++ {
+		sum := int32(0)
+		for _, q := range qw[o*kdim : (o+1)*kdim] {
+			sum += int32(q)
+		}
+		qc.comp[o] = 128 * sum
+		m := inScale * wScales[o]
+		b := float32(0)
+		if bias != nil {
+			b = bias[o]
+		}
+		if qc.floatOut {
+			qc.mult[o], qc.add[o] = m, b
+		} else {
+			qc.mult[o], qc.add[o] = m/outScale, b/outScale
+		}
+	}
+	return qc
+}
+
+// InChannels returns the input channel count the convolution expects.
+func (qc *QuantizedConv) InChannels() int { return qc.c }
+
+// OutChannels returns the output channel count.
+func (qc *QuantizedConv) OutChannels() int { return qc.oc }
+
+// OutSize returns the output spatial size for an H×W input.
+func (qc *QuantizedConv) OutSize(h, w int) (oh, ow int) {
+	return ConvOut(h, qc.kh, qc.stride, qc.pad), ConvOut(w, qc.kw, qc.stride, qc.pad)
+}
+
+// KernelSize returns the filter's spatial extent (KH, KW).
+func (qc *QuantizedConv) KernelSize() (kh, kw int) { return qc.kh, qc.kw }
+
+// Stride returns the convolution stride.
+func (qc *QuantizedConv) Stride() int { return qc.stride }
+
+// Pad returns the spatial zero-padding applied to each border.
+func (qc *QuantizedConv) Pad() int { return qc.pad }
+
+// HasReLU reports whether a ReLU epilogue is fused into the convolution.
+func (qc *QuantizedConv) HasReLU() bool { return qc.relu }
+
+// FloatOutput reports whether the epilogue dequantizes to float32.
+func (qc *QuantizedConv) FloatOutput() bool { return qc.floatOut }
+
+// ForwardInto convolves the s8 input (n, C, h, w flat) into exactly one of
+// outQ (int8 mode) or outF (float32 mode), both flat (n, OC, OH, OW)
+// buffers the caller sized from OutSize. It allocates nothing beyond pooled
+// scratch. The work grid matches the float driver: sample × output-row
+// chunk, so a batch-1 forward still spreads over every core.
+func (qc *QuantizedConv) ForwardInto(outQ []int8, outF []float32, in []int8, n, h, w int) {
+	if (outQ == nil) == (outF == nil) {
+		panic("tensor: QuantizedConv wants exactly one of outQ/outF")
+	}
+	if qc.floatOut != (outF != nil) {
+		panic("tensor: QuantizedConv output buffer kind does not match its epilogue mode")
+	}
+	if len(in) != n*qc.c*h*w {
+		panic(fmt.Sprintf("tensor: QuantizedConv input length %d, want %d", len(in), n*qc.c*h*w))
+	}
+	oh, ow := qc.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: QuantizedConv produces empty output for input %dx%d", h, w))
+	}
+	want := n * qc.oc * oh * ow
+	if (outQ != nil && len(outQ) != want) || (outF != nil && len(outF) != want) {
+		panic(fmt.Sprintf("tensor: QuantizedConv output length mismatch, want %d", want))
+	}
+	qc.once.Do(func() { qc.qa = packQA(qc.qw, qc.oc, qc.c*qc.kh*qc.kw) })
+
+	chunks := 1
+	if workers := parallel.DefaultWorkers; n < workers {
+		chunks = (workers + n - 1) / n
+		if chunks > oh {
+			chunks = oh
+		}
+	}
+	job := qconvJob{
+		qc: qc, outQ: outQ, outF: outF, in: in,
+		n: n, h: h, w: w, oh: oh, ow: ow, chunks: chunks,
+	}
+	if parallel.DefaultWorkers == 1 || n*chunks == 1 {
+		// Serial grid: direct method calls keep the steady-state inference
+		// path allocation-free, as in convInto.
+		for s := 0; s < n; s++ {
+			for ci := 0; ci < chunks; ci++ {
+				job.run(s, ci)
+			}
+		}
+		return
+	}
+	pjob := job // escapes via the method value; the serial job stays on the stack
+	parallel.ForTiles2D(n, chunks, 0, pjob.run)
+}
+
+// qconvJob carries one ForwardInto invocation's parameters so the per-chunk
+// body can be a method (direct-callable on the serial path).
+type qconvJob struct {
+	qc      *QuantizedConv
+	outQ    []int8
+	outF    []float32
+	in      []int8
+	n, h, w int
+	oh, ow  int
+	chunks  int
+}
+
+// run executes grid cell (sample s, row-chunk ci): lower the chunk to s8
+// columns, pack to u8 panels, run the micro-kernel over the row-tile ×
+// panel grid, and merge each int32 tile through the fused requantize /
+// dequantize epilogue.
+func (j *qconvJob) run(s, ci int) {
+	qc := j.qc
+	c, h, w := qc.c, j.h, j.w
+	oh, ow := j.oh, j.ow
+	kdim := c * qc.kh * qc.kw
+	cols := oh * ow
+	pointwise := qc.kh == 1 && qc.kw == 1 && qc.pad == 0
+	oyLo, oyHi := parallel.SplitRange(oh, j.chunks, ci)
+	if oyLo == oyHi {
+		return
+	}
+	colLo := oyLo * ow
+	chunkCols := (oyHi - oyLo) * ow
+	sample := j.in[s*c*h*w : (s+1)*c*h*w]
+	base := s * qc.oc * cols
+
+	// Degenerate spatial case: a single output position whose receptive
+	// field covers the whole input (the deep tail of a PaperSpace backbone,
+	// where 3×3 convs run on 1×1 or 2×2 maps). The im2col matrix would be a
+	// kdim×1 column that is mostly zero padding; the pruned weight pack
+	// multiplies just the valid taps against the sample itself, skipping the
+	// lowering entirely and shrinking the GEMV kdim (9× for a 3×3 on 1×1).
+	if !pointwise && oh == 1 && ow == 1 && qc.kh >= qc.pad+h && qc.kw >= qc.pad+w {
+		qc.degenOnce.Do(func() { qc.buildDegenerate(h, w) })
+		if qc.degenH == h && qc.degenW == w {
+			pb := packQB(sample, 1, c*h*w, 1)
+			j.tiles(qc.degenQA, qc.degenComp, pb, base, 1, 0)
+			pb.release()
+			return
+		}
+	}
+
+	var bsrc, scratch []int8
+	ldb := chunkCols
+	switch {
+	case pointwise && qc.stride == 1:
+		bsrc = sample[colLo:]
+		ldb = h * w
+	case pointwise:
+		scratch = scratchI8.get(c * chunkCols)
+		qpointwiseColumns(sample, c, h, w, qc.stride, oyLo, oyHi, scratch)
+		bsrc = scratch
+	default:
+		scratch = scratchI8.get(kdim * chunkCols)
+		QIm2ColRows(sample, c, h, w, qc.kh, qc.kw, qc.stride, qc.pad, oyLo, oyHi, scratch)
+		bsrc = scratch
+	}
+	pb := packQB(bsrc, ldb, kdim, chunkCols)
+	if scratch != nil {
+		scratchI8.put(scratch)
+	}
+	j.tiles(qc.qa, qc.comp, pb, base, cols, colLo)
+	pb.release()
+}
+
+// tiles runs the micro-kernel over the row-tile × panel grid of one packed
+// A/B pair and merges each int32 tile through the fused requantize /
+// dequantize epilogue. comp is passed alongside qa because the degenerate
+// path's pruned weight pack carries its own offset compensation.
+func (j *qconvJob) tiles(qa packedQA, comp []int32, pb packedQB, base, cols, colLo int) {
+	qc := j.qc
+	// The tile accumulator comes from the scratch pool: qKernel is a func
+	// variable, so a local array would escape on every call.
+	cbuf := scratchI32.get(qMR * qNR)
+	aslot := qa.kQuads * qMR * 4
+	bslot := pb.kQuads * qNR * 4
+	for rt := 0; rt < qa.rowTiles; rt++ {
+		rows := qa.m - rt*qMR
+		if rows > qMR {
+			rows = qMR
+		}
+		for p := 0; p < pb.nPanels; p++ {
+			pcols := pb.n - p*qNR
+			if pcols > qNR {
+				pcols = qNR
+			}
+			qKernel(qa.buf[rt*aslot:], pb.buf[p*bslot:], cbuf, qa.kQuads)
+			for r := 0; r < rows; r++ {
+				o := rt*qMR + r
+				mult, addend, co := qc.mult[o], qc.add[o], comp[o]
+				trow := cbuf[r*qNR : r*qNR+qNR]
+				off := base + o*cols + colLo + p*qNR
+				if qc.floatOut {
+					dst := j.outF[off : off+pcols]
+					for jj := 0; jj < pcols; jj++ {
+						v := mult*float32(trow[jj]-co) + addend
+						if qc.relu && v < 0 {
+							v = 0
+						}
+						dst[jj] = v
+					}
+				} else {
+					dst := j.outQ[off : off+pcols]
+					lo := float64(-QActMax)
+					if qc.relu {
+						lo = 0
+					}
+					for jj := 0; jj < pcols; jj++ {
+						v := math.RoundToEven(float64(mult*float32(trow[jj]-co) + addend))
+						if v < lo {
+							v = lo
+						} else if v > QActMax {
+							v = QActMax
+						}
+						dst[jj] = int8(v)
+					}
+				}
+			}
+		}
+	}
+	scratchI32.put(cbuf)
+}
+
+// buildDegenerate packs the pruned weight matrix for 1×1-output forwards on
+// an h×w input fully covered by the receptive field: column (ch, sy, sx) of
+// the pruned matrix is original tap (ch, sy+pad, sx+pad) — exactly the taps
+// whose im2col entries are not structurally zero — with the +128 offset
+// compensation recomputed over the kept taps. The pack binds to the first
+// qualifying (h, w); other shapes fall back to the generic path.
+func (qc *QuantizedConv) buildDegenerate(h, w int) {
+	kdim := qc.c * qc.kh * qc.kw
+	dk := qc.c * h * w
+	dw := make([]int8, qc.oc*dk)
+	comp := make([]int32, qc.oc)
+	for o := 0; o < qc.oc; o++ {
+		row := qc.qw[o*kdim : (o+1)*kdim]
+		drow := dw[o*dk : (o+1)*dk]
+		i, sum := 0, int32(0)
+		for ch := 0; ch < qc.c; ch++ {
+			for sy := 0; sy < h; sy++ {
+				for sx := 0; sx < w; sx++ {
+					q := row[(ch*qc.kh+sy+qc.pad)*qc.kw+sx+qc.pad]
+					drow[i] = q
+					i++
+					sum += int32(q)
+				}
+			}
+		}
+		comp[o] = 128 * sum
+	}
+	qc.degenQA = packQA(dw, qc.oc, dk)
+	qc.degenComp = comp
+	qc.degenH, qc.degenW = h, w
+}
+
+// QIm2ColRows lowers output rows [oyLo, oyHi) of one s8 (C,H,W) image into
+// the column window dst, the int8 twin of Im2ColRows. Out-of-bounds taps
+// contribute 0 — exact, since s8 activations are zero-point-0.
+func QIm2ColRows(src []int8, c, h, w, kh, kw, stride, pad, oyLo, oyHi int, dst []int8) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	if oyLo < 0 || oyHi > oh || oyLo > oyHi {
+		panic(fmt.Sprintf("tensor: QIm2ColRows row range [%d,%d) outside [0,%d)", oyLo, oyHi, oh))
+	}
+	cols := (oyHi - oyLo) * ow
+	if len(dst) != c*kh*kw*cols {
+		panic(fmt.Sprintf("tensor: QIm2ColRows dst length %d, want %d", len(dst), c*kh*kw*cols))
+	}
+	// The ox range whose tap sx = ox·stride − pad + kx stays in [0, w)
+	// depends only on kx; hoisting it (and its divisions) out of the channel
+	// loop matters because deep layers run this c·kh·kw times for a handful
+	// of pixels each. The same smallness argument replaces clear/copy calls
+	// with inline loops below: rows here are 2–32 bytes, where the fixed cost
+	// of a memclr/memmove call dominates the move itself.
+	var oxLos, oxHis [maxKW]int
+	if kw > maxKW {
+		panic(fmt.Sprintf("tensor: QIm2ColRows kernel width %d exceeds %d", kw, maxKW))
+	}
+	for kx := 0; kx < kw; kx++ {
+		oxLo := 0
+		if pad > kx {
+			oxLo = (pad - kx + stride - 1) / stride
+		}
+		oxHi := 0
+		// num < 0 means even ox = 0 taps past the right edge; the guard also
+		// keeps the division non-negative (Go's / truncates toward zero,
+		// which is not the floor this bound needs for negative numerators).
+		if num := w - 1 - kx + pad; num >= 0 {
+			oxHi = num/stride + 1
+			if oxHi > ow {
+				oxHi = ow
+			}
+		}
+		if oxHi < oxLo {
+			oxHi = oxLo
+		}
+		oxLos[kx], oxHis[kx] = oxLo, oxHi
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		plane := src[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				oxLo, oxHi := oxLos[kx], oxHis[kx]
+				drow := dst[row*cols : (row+1)*cols]
+				row++
+				i := 0
+				for oy := oyLo; oy < oyHi; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						for t := 0; t < ow; t++ {
+							drow[i] = 0
+							i++
+						}
+						continue
+					}
+					srow := plane[sy*w : (sy+1)*w]
+					for t := 0; t < oxLo; t++ {
+						drow[i] = 0
+						i++
+					}
+					sx := oxLo*stride - pad + kx
+					if stride == 1 {
+						for _, v := range srow[sx : sx+oxHi-oxLo] {
+							drow[i] = v
+							i++
+						}
+					} else {
+						for ox := oxLo; ox < oxHi; ox++ {
+							drow[i] = srow[sx]
+							i++
+							sx += stride
+						}
+					}
+					for t := oxHi; t < ow; t++ {
+						drow[i] = 0
+						i++
+					}
+				}
+			}
+		}
+	}
+}
+
+// maxKW bounds the kernel width QIm2ColRows accepts; PaperSpace tops out at
+// 7 and the bound keeps the hoisted per-kx range tables off the heap.
+const maxKW = 16
+
+// qpointwiseColumns builds the column window for output rows [oyLo, oyHi)
+// of a strided 1×1 s8 convolution, the int8 twin of pointwiseColumns.
+func qpointwiseColumns(src []int8, c, h, w, stride, oyLo, oyHi int, dst []int8) {
+	ow := ConvOut(w, 1, stride, 0)
+	chunkCols := (oyHi - oyLo) * ow
+	for ch := 0; ch < c; ch++ {
+		plane := src[ch*h*w : (ch+1)*h*w]
+		drow := dst[ch*chunkCols : (ch+1)*chunkCols]
+		i := 0
+		for y := oyLo; y < oyHi; y++ {
+			row := plane[y*stride*w:]
+			for x := 0; x < ow; x++ {
+				drow[i] = row[x*stride]
+				i++
+			}
+		}
+	}
+}
