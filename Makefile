@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke quant-parity
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke quant-parity sim-replay
 
-ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke quant-parity
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke quant-parity sim-replay
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,16 @@ obs-smoke:
 # the plan→cost-graph SJF seeding path end to end.
 router-smoke:
 	$(GO) test -race -count=1 -run 'RouterSmoke|RouterBinarySJFSeeding' ./cmd/router
+
+# Simulator determinism + replay gate: a seeded simulation must render
+# byte-identically across runs, a recorded trace must replay to the exact
+# report of the run that produced it (in the sim package and through the
+# capsim CLI and servd's -trace recorder), and calibrating against the
+# checked-in /v1/stats fixture must land within 15% MAPE.
+sim-replay:
+	$(GO) test -race -count=1 \
+		-run 'SimDeterminism|TraceRoundTrip|Replay|Calibration|Capsim|TraceRecording|Fixture' \
+		./internal/sim ./cmd/capsim ./cmd/servd
 
 # Int8 parity gate: randomized PaperSpace models trained on a miniature
 # drainage corpus, quantized plans held to the documented logit-error and

@@ -57,6 +57,7 @@ import (
 	"drainnas/internal/infer"
 	"drainnas/internal/metrics"
 	"drainnas/internal/serve"
+	"drainnas/internal/sim"
 	"drainnas/internal/tensor"
 )
 
@@ -71,8 +72,19 @@ func main() {
 		cacheCap  = flag.Int("cache", 4, "resident model cache capacity")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceOut  = flag.String("trace", "", "record arrivals (t_ms, model, slo, shape) as JSONL to this file for capsim replay")
 	)
 	flag.Parse()
+
+	var rec *sim.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("servd: opening trace file: %v", err)
+		}
+		rec = sim.NewTraceWriter(f)
+		log.Printf("servd: recording serving trace to %s", *traceOut)
+	}
 
 	srv := serve.NewServer(newDirLoader(*models), serve.Options{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
@@ -84,7 +96,7 @@ func main() {
 		log.Fatalf("servd: %v", err)
 	}
 
-	mux := newAPI(srv, *models)
+	mux := newAPIWithTrace(srv, *models, rec)
 	if *pprofFlag {
 		registerPprof(mux)
 	}
@@ -113,6 +125,7 @@ func main() {
 	case err := <-serveErr:
 		// The listener failed outright; nothing is draining.
 		srv.Close()
+		closeTrace(rec)
 		log.Fatalf("servd: %v", err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately instead of re-draining
@@ -125,7 +138,21 @@ func main() {
 		// The HTTP side is quiet (or timed out); flush the batcher so every
 		// admitted request is answered before the process exits.
 		srv.Close()
+		closeTrace(rec)
 		log.Printf("servd: drained, exiting")
+	}
+}
+
+// closeTrace flushes the recorded trace, if recording; a truncated trace is
+// worth a log line because replay determinism depends on the file.
+func closeTrace(rec *sim.TraceWriter) {
+	if rec == nil {
+		return
+	}
+	if err := rec.Close(); err != nil {
+		log.Printf("servd: flushing trace: %v", err)
+	} else {
+		log.Printf("servd: trace flushed (%d events)", rec.Count())
 	}
 }
 
@@ -167,6 +194,14 @@ type (
 // /metrics are kept as aliases so existing probes and scrape configs keep
 // working.
 func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
+	return newAPIWithTrace(srv, modelDir, nil)
+}
+
+// newAPIWithTrace is newAPI plus optional arrival recording: every predict
+// that resolves to a valid serving key is appended to rec before admission,
+// so the trace captures offered load (including requests the queue later
+// rejects), which is what capacity replay needs.
+func newAPIWithTrace(srv *serve.Server, modelDir string, rec *sim.TraceWriter) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +220,9 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 		if err != nil {
 			httpError(w, http.StatusBadRequest, codeBadInput, err.Error())
 			return
+		}
+		if rec != nil {
+			rec.Record(key, req.SLO, req.Shape)
 		}
 		resp, err := srv.Submit(r.Context(), key, input)
 		if err != nil {

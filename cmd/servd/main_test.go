@@ -21,6 +21,7 @@ import (
 	"drainnas/internal/onnxsize"
 	"drainnas/internal/resnet"
 	"drainnas/internal/serve"
+	"drainnas/internal/sim"
 	"drainnas/internal/tensor"
 )
 
@@ -823,5 +824,71 @@ func TestAPIPredictPrecision(t *testing.T) {
 	}
 	if stats.Gemm == "" || stats.QGemm == "" {
 		t.Fatalf("kernel names missing from stats: gemm=%q qgemm=%q", stats.Gemm, stats.QGemm)
+	}
+}
+
+// TestAPITraceRecording checks the -trace path: every predict that resolves
+// to a serving key is recorded — including precision-suffixed keys and
+// requests that later fail (offered load, not served load) — and the file
+// replays into simulator arrivals.
+func TestAPITraceRecording(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeTinyModel(t, dir)
+	srv := serve.NewServer(newDirLoader(dir), serve.Options{MaxDelay: time.Millisecond})
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	rec := sim.NewTraceWriter(&buf)
+	ts := httptest.NewServer(newAPIWithTrace(srv, dir, rec))
+	defer ts.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if st := post(predictBody(t, cfg, "tiny")); st != http.StatusOK {
+		t.Fatalf("fp32 predict status %d", st)
+	}
+	if st := post(predictBody(t, cfg, "tiny@int8")); st != http.StatusOK {
+		t.Fatalf("int8 predict status %d", st)
+	}
+	// A missing model still resolves to a key, so it is offered load and
+	// must be recorded even though serving 404s.
+	if st := post(predictBody(t, cfg, "ghost")); st != http.StatusNotFound {
+		t.Fatalf("ghost predict status %d, want 404", st)
+	}
+	// A malformed body never reaches key resolution: not recorded.
+	if st := post([]byte("{nope")); st != http.StatusBadRequest {
+		t.Fatalf("malformed predict status %d, want 400", st)
+	}
+
+	if err := rec.Close(); err != nil {
+		t.Fatalf("closing trace: %v", err)
+	}
+	events, err := sim.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("reading recorded trace: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	wantModels := []string{"tiny", "tiny@int8", "ghost"}
+	for i, ev := range events {
+		if ev.Model != wantModels[i] {
+			t.Fatalf("event %d model %q, want %q", i, ev.Model, wantModels[i])
+		}
+		if ev.C != cfg.Channels || ev.H != 16 || ev.W != 16 {
+			t.Fatalf("event %d shape %dx%dx%d, want %dx16x16", i, ev.C, ev.H, ev.W, cfg.Channels)
+		}
+	}
+	if arr, err := sim.TraceArrivals(events); err != nil || len(arr) != 3 {
+		t.Fatalf("recorded trace does not replay: %v (%d arrivals)", err, len(arr))
 	}
 }

@@ -405,3 +405,52 @@ func TestPredictionFiniteOverWholeSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestServiceModelDecomposesLatency(t *testing.T) {
+	cfg := resnet.StockResNet18(5, 8)
+	g, err := Decompose(cfg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Devices() {
+		sm := d.Service(g)
+		if sm.PerItemMS <= 0 || sm.PerBatchMS <= 0 {
+			t.Fatalf("%s: degenerate service model %+v", d.Name, sm)
+		}
+		// BatchMS(1) reproduces the batch-1 prediction exactly.
+		if lat := d.LatencyMS(g); math.Abs(sm.BatchMS(1)-lat) > 1e-9*lat {
+			t.Fatalf("%s: BatchMS(1)=%.6f, LatencyMS=%.6f", d.Name, sm.BatchMS(1), lat)
+		}
+		// Work scales linearly, overhead amortizes: per-item cost strictly
+		// drops with batch size.
+		if b8 := sm.BatchMS(8) / 8; b8 >= sm.BatchMS(1) {
+			t.Fatalf("%s: batching buys nothing (%.4f/item at 8 vs %.4f at 1)", d.Name, b8, sm.BatchMS(1))
+		}
+		// n<1 clamps to 1.
+		if sm.BatchMS(0) != sm.BatchMS(1) {
+			t.Fatalf("%s: BatchMS(0) != BatchMS(1)", d.Name)
+		}
+	}
+
+	// An int8 graph scales work, not overhead.
+	qg := g
+	qg.CostScale = Int8CostScale
+	d := Devices()[0]
+	fp, q := d.Service(g), d.Service(qg)
+	if q.PerBatchMS != fp.PerBatchMS {
+		t.Fatalf("int8 overhead changed: %.4f vs %.4f", q.PerBatchMS, fp.PerBatchMS)
+	}
+	if q.PerItemMS >= fp.PerItemMS {
+		t.Fatalf("int8 work %.4f not below fp32 %.4f", q.PerItemMS, fp.PerItemMS)
+	}
+
+	// Scaled applies the calibration knobs multiplicatively; non-positive
+	// scales mean identity.
+	s := fp.Scaled(1.5, 0.5)
+	if math.Abs(s.PerItemMS-1.5*fp.PerItemMS) > 1e-12 || math.Abs(s.PerBatchMS-0.5*fp.PerBatchMS) > 1e-12 {
+		t.Fatalf("Scaled(1.5, 0.5) = %+v from %+v", s, fp)
+	}
+	if id := fp.Scaled(0, -1); id != fp {
+		t.Fatalf("Scaled(0,-1) = %+v, want identity %+v", id, fp)
+	}
+}

@@ -21,6 +21,10 @@ type Histogram struct {
 	counts [histBuckets + 1]atomic.Uint64 // [histBuckets] = overflow
 	sum    atomic.Int64
 	max    atomic.Int64
+	// minP1 stores the exact observed minimum plus one, so the zero value
+	// means "nothing observed yet" and a genuine 0ns observation (clamped
+	// clock skew) is still representable as 1.
+	minP1 atomic.Int64
 }
 
 // histBuckets bounds the resolution: √2-spaced from 1µs, so two buckets per
@@ -57,6 +61,12 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	for {
+		cur := h.minP1.Load()
+		if (cur != 0 && int64(d)+1 >= cur) || h.minP1.CompareAndSwap(cur, int64(d)+1) {
+			break
+		}
+	}
+	for {
 		cur := h.max.Load()
 		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
 			return
@@ -79,9 +89,11 @@ type HistogramBucket struct {
 type HistogramSnapshot struct {
 	Count uint64        `json:"count"`
 	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
 	Max   time.Duration `json:"max_ns"`
 
 	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
 	MaxMS  float64 `json:"max_ms"`
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
@@ -101,6 +113,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Sum: time.Duration(h.sum.Load()),
 		Max: time.Duration(h.max.Load()),
 	}
+	if mp1 := h.minP1.Load(); mp1 > 0 {
+		snap.Min = time.Duration(mp1 - 1)
+	}
 	lower := time.Duration(0)
 	for i := 0; i <= histBuckets; i++ {
 		upper := histOverflow
@@ -115,6 +130,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	if snap.Count > 0 {
 		snap.MeanMS = ms(snap.Sum) / float64(snap.Count)
+		snap.MinMS = ms(snap.Min)
 		snap.MaxMS = ms(snap.Max)
 		snap.P50MS = ms(snap.Quantile(0.50))
 		snap.P90MS = ms(snap.Quantile(0.90))
@@ -125,8 +141,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Quantile estimates the p-quantile (p in [0, 1]) by linear interpolation
-// within the covering bucket, clamped to the exact observed maximum. Returns
-// 0 for an empty snapshot.
+// within the covering bucket, clamped to the exact observed [minimum,
+// maximum]. Without the lower clamp, small p reported the covering bucket's
+// lower bound — a latency below every observed sample (p=0 on a
+// single-sample histogram invented a value that never happened), which
+// skewed simulator calibration against measured histograms. Returns 0 for
+// an empty snapshot.
 func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -142,6 +162,9 @@ func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 	for _, b := range s.Buckets {
 		if float64(cum+b.Count) >= rank {
 			lo, hi := b.Lower, b.Upper
+			if lo < s.Min {
+				lo = s.Min
+			}
 			if hi > s.Max {
 				hi = s.Max
 			}

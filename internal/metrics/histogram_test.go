@@ -157,6 +157,73 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileMinClamp pins the fix for quantiles below the
+// observed minimum: before min tracking, small p interpolated from the
+// covering bucket's *lower* bound, so p=0 on a single-sample histogram
+// reported a latency that never happened (skewing simulator calibration,
+// which matches simulated quantiles against these).
+func TestHistogramQuantileMinClamp(t *testing.T) {
+	// Single sample: every quantile is that sample, exactly.
+	single := NewHistogram()
+	const d = 700 * time.Microsecond // strictly inside its bucket (512µs, 724µs]
+	single.Observe(d)
+	snap := single.Snapshot()
+	if snap.Min != d || snap.Max != d {
+		t.Fatalf("min/max %v/%v, want both %v", snap.Min, snap.Max, d)
+	}
+	for _, p := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if q := snap.Quantile(p); q != d {
+			t.Fatalf("single-sample q(%.2f)=%v, want exact sample %v", p, q, d)
+		}
+	}
+	if snap.MinMS != snap.MaxMS || snap.P50MS != snap.MinMS {
+		t.Fatalf("derived summaries disagree on a single sample: %+v", snap)
+	}
+
+	// Many samples: p=0 is the exact minimum, p=1 the exact maximum, and no
+	// quantile escapes [min, max].
+	h := NewHistogram()
+	lo, hi := 3*time.Millisecond, 90*time.Millisecond
+	h.Observe(lo)
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(hi)
+	s := h.Snapshot()
+	if q := s.Quantile(0); q != lo {
+		t.Fatalf("p0 = %v, want exact min %v", q, lo)
+	}
+	if q := s.Quantile(1); q != hi {
+		t.Fatalf("p100 = %v, want exact max %v", q, hi)
+	}
+	for i := 0; i <= 100; i++ {
+		q := s.Quantile(float64(i) / 100)
+		if q < lo || q > hi {
+			t.Fatalf("q(%.2f)=%v outside observed [%v, %v]", float64(i)/100, q, lo, hi)
+		}
+	}
+
+	// A lone overflow-bucket sample behaves like any single sample: clamped
+	// to the exact observation from both sides.
+	of := NewHistogram()
+	big := histBounds[histBuckets-1] + time.Minute
+	of.Observe(big)
+	so := of.Snapshot()
+	if q0, q1 := so.Quantile(0), so.Quantile(1); q0 != big || q1 != big {
+		t.Fatalf("overflow sample quantiles %v/%v, want both %v", q0, q1, big)
+	}
+
+	// A genuine 0ns observation (negative clamps to 0) is a representable
+	// minimum, distinct from "nothing observed".
+	z := NewHistogram()
+	z.Observe(-time.Second)
+	z.Observe(time.Millisecond)
+	sz := z.Snapshot()
+	if sz.Min != 0 || sz.Quantile(0) != 0 {
+		t.Fatalf("zero observation: min %v q0 %v, want 0", sz.Min, sz.Quantile(0))
+	}
+}
+
 func TestHistogramQuantileMonotone(t *testing.T) {
 	h := NewHistogram()
 	for i := 1; i <= 1000; i++ {

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"drainnas/internal/metrics"
 )
 
 // SLOClass is a request's service-level class. It orders dispatch under the
@@ -106,12 +108,15 @@ func ParseSchedMode(s string) (SchedMode, error) {
 
 // waiter is one request parked at the dispatch gate.
 type waiter struct {
-	seq       uint64
-	class     SLOClass
-	estMS     float64
-	ready     chan struct{}
-	granted   bool
-	abandoned bool
+	seq     uint64
+	class   SLOClass
+	estMS   float64
+	ready   chan struct{}
+	granted bool
+	// index is the waiter's current position in the gate heap, maintained by
+	// waiterHeap's Swap/Push/Pop so a canceled waiter can be heap.Removed
+	// eagerly; -1 once it has left the heap (granted or removed).
+	index int
 }
 
 // waiterHeap orders waiters by the gate's scheduling mode. It implements
@@ -139,15 +144,24 @@ func (h *waiterHeap) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h *waiterHeap) Swap(i, j int) { h.ws[i], h.ws[j] = h.ws[j], h.ws[i] }
+func (h *waiterHeap) Swap(i, j int) {
+	h.ws[i], h.ws[j] = h.ws[j], h.ws[i]
+	h.ws[i].index = i
+	h.ws[j].index = j
+}
 
-func (h *waiterHeap) Push(x any) { h.ws = append(h.ws, x.(*waiter)) }
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(h.ws)
+	h.ws = append(h.ws, w)
+}
 
 func (h *waiterHeap) Pop() any {
 	old := h.ws
 	n := len(old)
 	w := old[n-1]
 	old[n-1] = nil
+	w.index = -1
 	h.ws = old[:n-1]
 	return w
 }
@@ -200,15 +214,21 @@ func (g *gate) acquire(ctx context.Context, class SLOClass, estMS float64) error
 			g.mu.Unlock()
 			g.release()
 		} else {
-			w.abandoned = true
+			// Eagerly remove the waiter instead of marking it abandoned for a
+			// lazy reap in release(): reaping only runs when a slot frees, so
+			// with every slot stuck on hung replicas the heap grew without
+			// bound under canceling clients. w.index is maintained by the
+			// heap, and !granted (checked under the same mutex release()
+			// grants under) means the waiter is still in it.
+			heap.Remove(&g.heap, w.index)
 			g.mu.Unlock()
 		}
 		return ctx.Err()
 	}
 }
 
-// release returns a slot and grants it to the best waiter, skipping
-// abandoned ones lazily.
+// release returns a slot and grants it to the best waiter. Canceled waiters
+// are never seen here: they remove themselves from the heap eagerly.
 func (g *gate) release() {
 	if g == nil {
 		return
@@ -217,9 +237,6 @@ func (g *gate) release() {
 	g.inUse--
 	for g.inUse < g.capacity && g.heap.Len() > 0 {
 		w := heap.Pop(&g.heap).(*waiter)
-		if w.abandoned {
-			continue
-		}
 		w.granted = true
 		g.inUse++
 		close(w.ready)
@@ -234,13 +251,7 @@ func (g *gate) waiting() int {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	n := 0
-	for _, w := range g.heap.ws {
-		if !w.abandoned {
-			n++
-		}
-	}
-	return n
+	return g.heap.Len()
 }
 
 // latencyEstimator supplies the SJF scheduler's per-model latency estimate:
@@ -248,6 +259,13 @@ func (g *gate) waiting() int {
 // compiled plan at startup) overlaid by an exponentially-weighted moving
 // average of measured end-to-end latency, so estimates self-correct as real
 // traffic flows. Unknown models estimate 0, degrading SJF to FCFS for them.
+//
+// The EWMA map is keyed by client-supplied model names, so — exactly like
+// the per-model serving stats — it is capped: once maxTrackedEstimates
+// distinct names have been observed, further names share one overflow
+// entry (metrics.OverflowModelKey) instead of growing the map forever
+// under adversarial model names. The seed map is operator-provided at
+// startup and needs no cap.
 type latencyEstimator struct {
 	mu   sync.Mutex
 	seed map[string]float64
@@ -257,6 +275,10 @@ type latencyEstimator struct {
 // ewmaAlpha weights new observations; 0.2 smooths batch-size and cache
 // noise while still tracking drift within a few dozen requests.
 const ewmaAlpha = 0.2
+
+// maxTrackedEstimates bounds the measured-EWMA map, matching the
+// per-replica cap in metrics.RouterStats.
+const maxTrackedEstimates = 64
 
 func newLatencyEstimator(seed map[string]float64) *latencyEstimator {
 	e := &latencyEstimator{seed: make(map[string]float64, len(seed)), ewma: map[string]float64{}}
@@ -272,15 +294,26 @@ func (e *latencyEstimator) estimateMS(model string) float64 {
 	if ms, ok := e.ewma[model]; ok {
 		return ms
 	}
-	return e.seed[model]
+	if ms, ok := e.seed[model]; ok {
+		// A real per-model prediction beats the blended overflow bucket.
+		return ms
+	}
+	if len(e.ewma) >= maxTrackedEstimates {
+		return e.ewma[metrics.OverflowModelKey]
+	}
+	return 0
 }
 
 func (e *latencyEstimator) observeMS(model string, ms float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if prev, ok := e.ewma[model]; ok {
-		e.ewma[model] = prev + ewmaAlpha*(ms-prev)
+	key := model
+	if _, ok := e.ewma[key]; !ok && len(e.ewma) >= maxTrackedEstimates {
+		key = metrics.OverflowModelKey
+	}
+	if prev, ok := e.ewma[key]; ok {
+		e.ewma[key] = prev + ewmaAlpha*(ms-prev)
 	} else {
-		e.ewma[model] = ms
+		e.ewma[key] = ms
 	}
 }

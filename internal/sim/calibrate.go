@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"drainnas/internal/metrics"
+)
+
+// MeasuredQuantiles is one measured latency distribution pulled from a
+// servd /v1/stats payload: the overall serving histogram or one per-model
+// slice.
+type MeasuredQuantiles struct {
+	Model string  `json:"model"`
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// OverallKey names the whole-server measurement in ParseStatsQuantiles'
+// result (distinct from any legal serving key, which cannot start with "_").
+const OverallKey = "_all"
+
+// ParseStatsQuantiles extracts calibration targets from a servd /v1/stats
+// JSON document: the overall serving latency histogram under OverallKey plus
+// every per-model histogram with at least one sample. The per-model overflow
+// bucket is skipped — it blends arbitrary models and would poison a fit.
+func ParseStatsQuantiles(r io.Reader) (map[string]MeasuredQuantiles, error) {
+	var doc struct {
+		Serving struct {
+			Latency  metrics.HistogramSnapshot `json:"latency"`
+			PerModel map[string]struct {
+				Latency metrics.HistogramSnapshot `json:"latency"`
+			} `json:"per_model"`
+		} `json:"serving"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sim: decoding stats: %w", err)
+	}
+	out := make(map[string]MeasuredQuantiles)
+	add := func(key string, h metrics.HistogramSnapshot) {
+		if h.Count == 0 {
+			return
+		}
+		out[key] = MeasuredQuantiles{
+			Model: key, Count: h.Count,
+			P50MS: h.P50MS, P95MS: h.P95MS, P99MS: h.P99MS,
+		}
+	}
+	add(OverallKey, doc.Serving.Latency)
+	for name, m := range doc.Serving.PerModel {
+		if name == metrics.OverflowModelKey {
+			continue
+		}
+		add(name, m.Latency)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: stats document holds no latency samples")
+	}
+	return out, nil
+}
+
+// Calibration is the fit result: the two service-time scales, the error of
+// the fitted simulation against the measurements, and the matched points.
+type Calibration struct {
+	WorkScale     float64 `json:"work_scale"`
+	OverheadScale float64 `json:"overhead_scale"`
+	// MAPEPercent is the mean absolute percentage error over every matched
+	// (model, quantile) point; PearsonR the linear correlation of simulated
+	// vs measured values over the same points.
+	MAPEPercent float64 `json:"mape_percent"`
+	PearsonR    float64 `json:"pearson_r"`
+	Points      int     `json:"points"`
+}
+
+// calPoint is one matched (simulated, measured) quantile pair.
+type calPoint struct{ sim, meas float64 }
+
+// Calibrate fits the simulator's WorkScale and OverheadScale so its
+// p50/p95/p99 — per model and overall — track the measured quantiles, by
+// coordinate descent over multiplicative grids (three narrowing rounds per
+// scale). The returned Calibration carries the error of the *fitted*
+// configuration; callers enforce their own acceptance bar (the CI gate uses
+// MAPE <= 15%).
+func Calibrate(cfg Config, arrivals []Arrival, measured map[string]MeasuredQuantiles) (Calibration, error) {
+	cfg = cfg.withDefaults()
+	if len(measured) == 0 {
+		return Calibration{}, fmt.Errorf("sim: no measured quantiles to calibrate against")
+	}
+
+	eval := func(work, overhead float64) (float64, []calPoint, error) {
+		c := cfg
+		c.WorkScale, c.OverheadScale = work, overhead
+		rep, err := Run(c, arrivals)
+		if err != nil {
+			return 0, nil, err
+		}
+		pts := matchPoints(rep, measured)
+		if len(pts) == 0 {
+			return 0, nil, fmt.Errorf("sim: no overlap between simulated models and measured stats")
+		}
+		return mape(pts), pts, nil
+	}
+
+	work, overhead := 1.0, 1.0
+	best, pts, err := eval(work, overhead)
+	if err != nil {
+		return Calibration{}, err
+	}
+	// Round 1 is a joint lattice over a 4x band: the two scales trade off
+	// against each other (more overhead can imitate more work at small
+	// batches), so axis-at-a-time search from (1,1) walks into compensating
+	// optima. The joint sweep lands on the right basin first.
+	lattice := []float64{0.5, 1 / math.Sqrt2, 1, math.Sqrt2, 2}
+	for _, wm := range lattice {
+		for _, om := range lattice {
+			if wm == 1 && om == 1 {
+				continue
+			}
+			if e, p, err := eval(wm, om); err == nil && e < best {
+				best, pts, work, overhead = e, p, wm, om
+			}
+		}
+	}
+	// Then narrowing coordinate refinement around the incumbent basin.
+	for _, span := range []float64{1.2, 1.08, 1.03} {
+		grid := []float64{1 / (span * span), 1 / span, span, span * span}
+		for _, m := range grid {
+			if cand := work * m; cand > 0 {
+				if e, p, err := eval(cand, overhead); err == nil && e < best {
+					best, pts, work = e, p, cand
+				}
+			}
+		}
+		for _, m := range grid {
+			if cand := overhead * m; cand > 0 {
+				if e, p, err := eval(work, cand); err == nil && e < best {
+					best, pts, overhead = e, p, cand
+				}
+			}
+		}
+	}
+
+	return Calibration{
+		WorkScale: work, OverheadScale: overhead,
+		MAPEPercent: best, PearsonR: pearson(pts), Points: len(pts),
+	}, nil
+}
+
+// matchPoints pairs simulated and measured p50/p95/p99 for every key both
+// sides know, in sorted key order for determinism.
+func matchPoints(rep Report, measured map[string]MeasuredQuantiles) []calPoint {
+	simQ := map[string]QuantileSet{OverallKey: rep.Latency}
+	for _, m := range rep.Models {
+		simQ[m.Model] = m.Latency
+	}
+	keys := make([]string, 0, len(measured))
+	for k := range measured {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var pts []calPoint
+	for _, k := range keys {
+		sq, ok := simQ[k]
+		if !ok || sq.Count == 0 {
+			continue
+		}
+		mq := measured[k]
+		for _, pair := range [3][2]float64{
+			{sq.P50MS, mq.P50MS}, {sq.P95MS, mq.P95MS}, {sq.P99MS, mq.P99MS},
+		} {
+			if pair[1] > 0 {
+				pts = append(pts, calPoint{sim: pair[0], meas: pair[1]})
+			}
+		}
+	}
+	return pts
+}
+
+// mape is the mean absolute percentage error of simulated vs measured.
+func mape(pts []calPoint) float64 {
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, p := range pts {
+		sum += math.Abs(p.sim-p.meas) / p.meas
+	}
+	return 100 * sum / float64(len(pts))
+}
+
+// pearson is the linear correlation of simulated vs measured values; 0 when
+// either side is constant (no linear signal to report).
+func pearson(pts []calPoint) float64 {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for _, p := range pts {
+		mx += p.sim
+		my += p.meas
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for _, p := range pts {
+		dx, dy := p.sim-mx, p.meas-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

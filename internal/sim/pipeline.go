@@ -1,0 +1,525 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"drainnas/internal/latmeter"
+	"drainnas/internal/route"
+)
+
+// Policy selects how the simulated router places a request on a replica.
+type Policy int
+
+// The simulated placement policies (the deterministic subset of
+// internal/route's policy set; affinity degenerates to a static partition
+// under a fixed fleet, so round-robin and least-loaded are the interesting
+// capacity-planning shapes).
+const (
+	PolicyRoundRobin Policy = iota
+	PolicyLeastLoaded
+)
+
+// String names the policy as accepted by -policy.
+func (p Policy) String() string {
+	if p == PolicyLeastLoaded {
+		return "least-loaded"
+	}
+	return "round-robin"
+}
+
+// ParsePolicy maps the flag name to a policy; empty means round-robin.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "round-robin", "rr":
+		return PolicyRoundRobin, nil
+	case "least-loaded", "ll":
+		return PolicyLeastLoaded, nil
+	default:
+		return PolicyRoundRobin, fmt.Errorf("sim: unknown policy %q (want round-robin or least-loaded)", s)
+	}
+}
+
+// Config describes the simulated deployment: the same knobs cmd/servd and
+// cmd/router expose, plus the per-model service models that stand in for
+// plan execution.
+type Config struct {
+	// Replicas is the fleet size; Workers the per-replica execution pool.
+	Replicas int
+	Workers  int
+
+	// MaxBatch / MaxDelay / QueueCap mirror serve.Options: a per-model
+	// batch flushes at MaxBatch requests or MaxDelay after its first, and
+	// each replica admits at most QueueCap unfinished requests.
+	MaxBatch int
+	MaxDelay time.Duration
+	QueueCap int
+
+	// Policy places requests on replicas.
+	Policy Policy
+
+	// AdmitRate / AdmitBurst configure router token-bucket admission
+	// (tokens per second / bucket size); AdmitRate <= 0 disables it.
+	AdmitRate, AdmitBurst float64
+	// MaxInFlight bounds concurrently dispatched requests at the router
+	// gate, granted in Sched order; 0 = unlimited.
+	MaxInFlight int
+	Sched       route.SchedMode
+
+	// Models maps each serving key the workload references (including
+	// "@int8" keys) to its service model, typically latmeter's
+	// Device.Service over the model's cost graph.
+	Models map[string]latmeter.ServiceModel
+	// WorkScale / OverheadScale are the calibration knobs applied to every
+	// service model (see Calibrate); <= 0 means 1.
+	WorkScale, OverheadScale float64
+	// NetworkMS is a fixed per-request overhead added to every completed
+	// request's latency (transport + envelope cost outside the replica).
+	NetworkMS float64
+
+	// Horizon is the nominal workload duration, used as the denominator
+	// floor for throughput and utilization; the simulation itself always
+	// drains every admitted request.
+	Horizon time.Duration
+
+	// OnComplete, when set, observes every completed request (serving key,
+	// end-to-end latency) in completion order — the hook fixture generation
+	// and external collectors use. It must not mutate simulator state.
+	OnComplete func(model string, latency time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.WorkScale <= 0 {
+		c.WorkScale = 1
+	}
+	if c.OverheadScale <= 0 {
+		c.OverheadScale = 1
+	}
+	if c.AdmitRate > 0 && c.AdmitBurst <= 0 {
+		c.AdmitBurst = c.AdmitRate
+	}
+	return c
+}
+
+// simReq is one request in flight through the simulated pipeline.
+type simReq struct {
+	arr   Arrival
+	seq   uint64  // global arrival order; the deterministic tie-break
+	estMS float64 // SJF estimate: the model's batch-1 service prediction
+	index int     // gate-heap index
+}
+
+// schedHeap orders gate waiters exactly as route.waiterHeap does: priority
+// (interactive > standard > batch) or shortest-job-first, FCFS within ties.
+type schedHeap struct {
+	mode route.SchedMode
+	ws   []*simReq
+}
+
+func (h *schedHeap) Len() int { return len(h.ws) }
+
+func (h *schedHeap) Less(i, j int) bool {
+	a, b := h.ws[i], h.ws[j]
+	switch h.mode {
+	case route.Priority:
+		if pa, pb := classRank(a.arr.Class), classRank(b.arr.Class); pa != pb {
+			return pa > pb
+		}
+	case route.SJF:
+		if a.estMS != b.estMS {
+			return a.estMS < b.estMS
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (h *schedHeap) Swap(i, j int) {
+	h.ws[i], h.ws[j] = h.ws[j], h.ws[i]
+	h.ws[i].index = i
+	h.ws[j].index = j
+}
+
+func (h *schedHeap) Push(x any) {
+	r := x.(*simReq)
+	r.index = len(h.ws)
+	h.ws = append(h.ws, r)
+}
+
+func (h *schedHeap) Pop() any {
+	old := h.ws
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.index = -1
+	h.ws = old[:n-1]
+	return r
+}
+
+// classRank mirrors route.SLOClass.priority (unexported there).
+func classRank(c route.SLOClass) int {
+	switch c {
+	case route.ClassInteractive:
+		return 2
+	case route.ClassStandard:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// groupSim is one forming batch: same model key, generation-stamped so a
+// stale MaxDelay event cannot flush a later incarnation (the same
+// generation discipline serve.Server uses).
+type groupSim struct {
+	reqs []*simReq
+	gen  uint64
+}
+
+type batchSim struct {
+	model string
+	reqs  []*simReq
+}
+
+// replicaSim models one serve.Server: bounded admission, per-model batch
+// formation, a bounded worker pool executing service-model durations.
+type replicaSim struct {
+	id       string
+	load     int // admitted-but-unfinished (QueueCap's denominator)
+	groups   map[string]*groupSim
+	genSeq   uint64
+	busy     int
+	backlog  []*batchSim // cut batches waiting for a worker, FIFO
+	requests uint64
+	batches  uint64
+	sizeSum  uint64
+	busyMS   float64
+}
+
+// cluster is the whole simulated deployment plus its accounting.
+type cluster struct {
+	cfg  Config
+	loop *Loop
+	res  *collector
+
+	// token bucket state (virtual time).
+	tokens     float64
+	lastRefill time.Duration
+
+	// router gate.
+	inUse int
+	gate  schedHeap
+
+	reps   []*replicaSim
+	rrNext int
+}
+
+// Run simulates the arrival stream through the configured cluster and
+// returns the deterministic report. Every model key the stream references
+// must be present in cfg.Models.
+func Run(cfg Config, arrivals []Arrival) (Report, error) {
+	cfg = cfg.withDefaults()
+	for _, a := range arrivals {
+		if _, ok := cfg.Models[a.Model]; !ok {
+			return Report{}, fmt.Errorf("sim: arrival references model %q with no service model", a.Model)
+		}
+	}
+
+	c := &cluster{
+		cfg:    cfg,
+		loop:   NewLoop(),
+		res:    newCollector(),
+		tokens: cfg.AdmitBurst,
+		gate:   schedHeap{mode: cfg.Sched},
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		c.reps = append(c.reps, &replicaSim{
+			id:     fmt.Sprintf("replica-%d", i),
+			groups: make(map[string]*groupSim),
+		})
+	}
+
+	for i, a := range arrivals {
+		r := &simReq{arr: a, seq: uint64(i), estMS: cfg.Models[a.Model].BatchMS(1)}
+		c.loop.At(a.At, func() { c.arrive(r) })
+	}
+	c.loop.Run(0) // drain: every admitted request completes
+
+	end := c.loop.Now()
+	if cfg.Horizon > end {
+		end = cfg.Horizon
+	}
+	return c.res.report(cfg, c.reps, end), nil
+}
+
+// arrive runs the admission front: token bucket, then the scheduling gate.
+func (c *cluster) arrive(r *simReq) {
+	c.res.arrived(r.arr)
+	if !c.allow() {
+		c.res.throttled(r.arr)
+		return
+	}
+	if c.cfg.MaxInFlight > 0 && c.inUse >= c.cfg.MaxInFlight {
+		heap.Push(&c.gate, r)
+		return
+	}
+	c.inUse++
+	c.place(r)
+}
+
+// allow is the virtual-clock token bucket.
+func (c *cluster) allow() bool {
+	if c.cfg.AdmitRate <= 0 {
+		return true
+	}
+	now := c.loop.Now()
+	c.tokens = math.Min(c.cfg.AdmitBurst,
+		c.tokens+(now-c.lastRefill).Seconds()*c.cfg.AdmitRate)
+	c.lastRefill = now
+	if c.tokens >= 1 {
+		c.tokens--
+		return true
+	}
+	return false
+}
+
+// place picks a replica by policy and joins its batcher.
+func (c *cluster) place(r *simReq) {
+	var rep *replicaSim
+	switch c.cfg.Policy {
+	case PolicyLeastLoaded:
+		rep = c.reps[0]
+		for _, cand := range c.reps[1:] {
+			if cand.load < rep.load {
+				rep = cand
+			}
+		}
+	default:
+		rep = c.reps[c.rrNext%len(c.reps)]
+		c.rrNext++
+	}
+
+	if rep.load >= c.cfg.QueueCap {
+		c.res.rejected(r.arr)
+		c.releaseGate(1)
+		return
+	}
+	rep.load++
+	rep.requests++
+
+	g := rep.groups[r.arr.Model]
+	if g == nil {
+		g = &groupSim{gen: rep.genSeq}
+		rep.genSeq++
+		rep.groups[r.arr.Model] = g
+		gen := g.gen
+		model := r.arr.Model
+		c.loop.After(c.cfg.MaxDelay, func() { c.flushTimer(rep, model, gen) })
+	}
+	g.reqs = append(g.reqs, r)
+	if len(g.reqs) >= c.cfg.MaxBatch {
+		c.cut(rep, r.arr.Model, g)
+	}
+}
+
+// flushTimer is the MaxDelay deadline for a group generation; stale
+// generations are no-ops, exactly as in serve.Server.
+func (c *cluster) flushTimer(rep *replicaSim, model string, gen uint64) {
+	g := rep.groups[model]
+	if g == nil || g.gen != gen || len(g.reqs) == 0 {
+		return
+	}
+	c.cut(rep, model, g)
+}
+
+// cut takes the group's batch and hands it to the worker pool (or the
+// backlog when every worker is busy — the pool-saturation backpressure).
+func (c *cluster) cut(rep *replicaSim, model string, g *groupSim) {
+	delete(rep.groups, model)
+	b := &batchSim{model: model, reqs: g.reqs}
+	g.reqs = nil
+	if rep.busy < c.cfg.Workers {
+		c.start(rep, b)
+	} else {
+		rep.backlog = append(rep.backlog, b)
+	}
+}
+
+// start begins one stacked forward: its duration comes from the model's
+// service coefficients under the calibration scales.
+func (c *cluster) start(rep *replicaSim, b *batchSim) {
+	rep.busy++
+	sm := c.cfg.Models[b.model].Scaled(c.cfg.WorkScale, c.cfg.OverheadScale)
+	durMS := sm.BatchMS(len(b.reqs))
+	rep.busyMS += durMS
+	c.loop.After(time.Duration(durMS*float64(time.Millisecond)), func() { c.complete(rep, b) })
+}
+
+// complete delivers a finished batch: per-request latencies, accounting,
+// gate releases, and the next backlog batch if one is waiting.
+func (c *cluster) complete(rep *replicaSim, b *batchSim) {
+	rep.busy--
+	rep.batches++
+	rep.sizeSum += uint64(len(b.reqs))
+	now := c.loop.Now()
+	net := time.Duration(c.cfg.NetworkMS * float64(time.Millisecond))
+	for _, r := range b.reqs {
+		lat := now - r.arr.At + net
+		c.res.completed(r.arr, b.model, len(b.reqs), lat)
+		if c.cfg.OnComplete != nil {
+			c.cfg.OnComplete(b.model, lat)
+		}
+	}
+	rep.load -= len(b.reqs)
+	c.releaseGate(len(b.reqs))
+	if len(rep.backlog) > 0 && rep.busy < c.cfg.Workers {
+		next := rep.backlog[0]
+		rep.backlog = rep.backlog[1:]
+		c.start(rep, next)
+	}
+}
+
+// releaseGate returns n dispatch slots and grants parked waiters in
+// scheduler order.
+func (c *cluster) releaseGate(n int) {
+	if c.cfg.MaxInFlight <= 0 {
+		return
+	}
+	c.inUse -= n
+	for c.inUse < c.cfg.MaxInFlight && c.gate.Len() > 0 {
+		r := heap.Pop(&c.gate).(*simReq)
+		c.inUse++
+		c.place(r)
+	}
+}
+
+// collector accumulates per-request outcomes; quantiles are computed
+// exactly from the sorted samples at report time, not through histogram
+// buckets — the simulator is the ground truth calibration compares the
+// bucketed measurements against.
+type collector struct {
+	overall  *bucketStats
+	byClass  map[string]*bucketStats
+	byModel  map[string]*bucketStats
+	batchSum uint64
+	batchN   uint64
+}
+
+type bucketStats struct {
+	arrived, throttled, rejected, completed uint64
+	latMS                                   []float64
+}
+
+func newCollector() *collector {
+	return &collector{
+		overall: &bucketStats{},
+		byClass: make(map[string]*bucketStats),
+		byModel: make(map[string]*bucketStats),
+	}
+}
+
+func (c *collector) class(a Arrival) *bucketStats {
+	k := a.Class.String()
+	b := c.byClass[k]
+	if b == nil {
+		b = &bucketStats{}
+		c.byClass[k] = b
+	}
+	return b
+}
+
+func (c *collector) model(key string) *bucketStats {
+	b := c.byModel[key]
+	if b == nil {
+		b = &bucketStats{}
+		c.byModel[key] = b
+	}
+	return b
+}
+
+func (c *collector) arrived(a Arrival)   { c.overall.arrived++; c.class(a).arrived++ }
+func (c *collector) throttled(a Arrival) { c.overall.throttled++; c.class(a).throttled++ }
+func (c *collector) rejected(a Arrival)  { c.overall.rejected++; c.class(a).rejected++ }
+
+func (c *collector) completed(a Arrival, model string, batch int, lat time.Duration) {
+	ms := float64(lat) / float64(time.Millisecond)
+	c.overall.completed++
+	c.overall.latMS = append(c.overall.latMS, ms)
+	cb := c.class(a)
+	cb.completed++
+	cb.latMS = append(cb.latMS, ms)
+	mb := c.model(model)
+	mb.completed++
+	mb.latMS = append(mb.latMS, ms)
+	c.batchSum += uint64(batch)
+	c.batchN++
+}
+
+func (c *collector) report(cfg Config, reps []*replicaSim, end time.Duration) Report {
+	rep := Report{
+		DurationMS: float64(end) / float64(time.Millisecond),
+		Replicas:   cfg.Replicas,
+		Arrived:    c.overall.arrived,
+		Throttled:  c.overall.throttled,
+		Rejected:   c.overall.rejected,
+		Completed:  c.overall.completed,
+		Latency:    summarize(c.overall.latMS),
+	}
+	if end > 0 {
+		rep.ThroughputRPS = float64(c.overall.completed) / end.Seconds()
+	}
+	if c.batchN > 0 {
+		rep.MeanBatch = float64(c.batchSum) / float64(c.batchN)
+	}
+	for _, k := range sortedKeys(c.byClass) {
+		b := c.byClass[k]
+		rep.Classes = append(rep.Classes, ClassReport{
+			Class: k, Arrived: b.arrived, Throttled: b.throttled,
+			Rejected: b.rejected, Completed: b.completed,
+			Latency: summarize(b.latMS),
+		})
+	}
+	for _, k := range sortedKeys(c.byModel) {
+		b := c.byModel[k]
+		rep.Models = append(rep.Models, ModelReport{
+			Model: k, Completed: b.completed, Latency: summarize(b.latMS),
+		})
+	}
+	for _, r := range reps {
+		rr := ReplicaReport{ID: r.id, Requests: r.requests, Batches: r.batches}
+		if r.batches > 0 {
+			rr.MeanBatch = float64(r.sizeSum) / float64(r.batches)
+		}
+		if end > 0 && cfg.Workers > 0 {
+			rr.Utilization = r.busyMS / (float64(end) / float64(time.Millisecond) * float64(cfg.Workers))
+		}
+		rep.ReplicaStats = append(rep.ReplicaStats, rr)
+	}
+	return rep
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// QuantileSet summarizes a latency sample exactly (sorted-sample
+// interpolation, not histogram buckets). All values are milliseconds.
+type QuantileSet struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// summarize computes the exact quantile set of a latency sample. The input
+// slice is sorted in place.
+func summarize(latMS []float64) QuantileSet {
+	q := QuantileSet{Count: uint64(len(latMS))}
+	if len(latMS) == 0 {
+		return q
+	}
+	sort.Float64s(latMS)
+	sum := 0.0
+	for _, v := range latMS {
+		sum += v
+	}
+	q.MeanMS = sum / float64(len(latMS))
+	q.MinMS = latMS[0]
+	q.MaxMS = latMS[len(latMS)-1]
+	q.P50MS = sampleQuantile(latMS, 0.50)
+	q.P95MS = sampleQuantile(latMS, 0.95)
+	q.P99MS = sampleQuantile(latMS, 0.99)
+	return q
+}
+
+// sampleQuantile interpolates linearly between the order statistics at rank
+// p·(n−1) — the standard "type 7" estimator.
+func sampleQuantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(n-1)
+	lo := int(rank)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// ClassReport is the per-SLO-class slice of the report.
+type ClassReport struct {
+	Class     string      `json:"class"`
+	Arrived   uint64      `json:"arrived"`
+	Throttled uint64      `json:"throttled"`
+	Rejected  uint64      `json:"rejected"`
+	Completed uint64      `json:"completed"`
+	Latency   QuantileSet `json:"latency"`
+}
+
+// ModelReport is the per-serving-key slice of the report.
+type ModelReport struct {
+	Model     string      `json:"model"`
+	Completed uint64      `json:"completed"`
+	Latency   QuantileSet `json:"latency"`
+}
+
+// ReplicaReport is one replica's utilization accounting.
+type ReplicaReport struct {
+	ID          string  `json:"id"`
+	Requests    uint64  `json:"requests"`
+	Batches     uint64  `json:"batches"`
+	MeanBatch   float64 `json:"mean_batch"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the full simulation outcome. Sections are sorted slices, never
+// maps, so JSON and Render output are byte-stable for a given input.
+type Report struct {
+	DurationMS    float64         `json:"duration_ms"`
+	Replicas      int             `json:"replicas"`
+	Arrived       uint64          `json:"arrived"`
+	Throttled     uint64          `json:"throttled"`
+	Rejected      uint64          `json:"rejected"`
+	Completed     uint64          `json:"completed"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	MeanBatch     float64         `json:"mean_batch"`
+	Latency       QuantileSet     `json:"latency"`
+	Classes       []ClassReport   `json:"classes,omitempty"`
+	Models        []ModelReport   `json:"models,omitempty"`
+	ReplicaStats  []ReplicaReport `json:"replica_stats,omitempty"`
+}
+
+// GoodputFraction is completed over arrived (1 when nothing arrived).
+func (r Report) GoodputFraction() float64 {
+	if r.Arrived == 0 {
+		return 1
+	}
+	return float64(r.Completed) / float64(r.Arrived)
+}
+
+// Render formats the report as the fixed-layout text capsim prints. Every
+// number uses an explicit width/precision verb so identical reports render
+// to identical bytes.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simulated %.0f ms on %d replica(s): %d arrived, %d completed (%.1f%% goodput), %d throttled, %d rejected\n",
+		r.DurationMS, r.Replicas, r.Arrived, r.Completed, 100*r.GoodputFraction(), r.Throttled, r.Rejected)
+	fmt.Fprintf(&b, "throughput %.1f rps, mean batch %.2f\n", r.ThroughputRPS, r.MeanBatch)
+	fmt.Fprintf(&b, "latency    %s\n", renderQ(r.Latency))
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "class %-12s %s (arrived %d, throttled %d, rejected %d)\n",
+			c.Class, renderQ(c.Latency), c.Arrived, c.Throttled, c.Rejected)
+	}
+	for _, m := range r.Models {
+		fmt.Fprintf(&b, "model %-24s %s\n", m.Model, renderQ(m.Latency))
+	}
+	for _, rr := range r.ReplicaStats {
+		fmt.Fprintf(&b, "%-12s %6d req %6d batches (mean %.2f) utilization %.1f%%\n",
+			rr.ID, rr.Requests, rr.Batches, rr.MeanBatch, 100*rr.Utilization)
+	}
+	return b.String()
+}
+
+func renderQ(q QuantileSet) string {
+	if q.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%-6d mean %7.2fms  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms",
+		q.Count, q.MeanMS, q.P50MS, q.P95MS, q.P99MS, q.MaxMS)
+}

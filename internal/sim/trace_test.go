@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drainnas/internal/httpx"
+	"drainnas/internal/latmeter"
+)
+
+// TestTraceRoundTripIdentity is the replay acceptance property: generate a
+// workload, save it as a trace, read the trace back, and the simulator must
+// produce a byte-identical report from the replayed arrivals — the trace
+// file loses nothing the pipeline depends on.
+func TestTraceRoundTripIdentity(t *testing.T) {
+	arr, err := testWorkload(99).Arrivals()
+	if err != nil {
+		t.Fatalf("arrivals: %v", err)
+	}
+	cfg := Config{
+		Replicas: 2, Workers: 2, MaxInFlight: 32, AdmitRate: 400, AdmitBurst: 40,
+		Models: testModels(), Horizon: 2 * time.Second,
+	}
+	direct, err := Run(cfg, arr)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, EventsFromArrivals(arr)); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if len(events) != len(arr) {
+		t.Fatalf("trace holds %d events, want %d", len(events), len(arr))
+	}
+	replayed, err := TraceArrivals(events)
+	if err != nil {
+		t.Fatalf("trace arrivals: %v", err)
+	}
+	for i := range arr {
+		if replayed[i] != arr[i] {
+			t.Fatalf("arrival %d changed across the file round-trip:\n  orig   %+v\n  replay %+v",
+				i, arr[i], replayed[i])
+		}
+	}
+	viaTrace, err := Run(cfg, replayed)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if direct.Render() != viaTrace.Render() {
+		t.Fatalf("replayed report differs from direct report:\n--- direct ---\n%s--- replay ---\n%s",
+			direct.Render(), viaTrace.Render())
+	}
+	dj, _ := json.Marshal(direct)
+	rj, _ := json.Marshal(viaTrace)
+	if !bytes.Equal(dj, rj) {
+		t.Fatal("replayed JSON differs from direct JSON")
+	}
+}
+
+// TestTraceWriterRecordsOffsets checks the live recorder: offsets start at
+// zero, events validate, and Close flushes.
+func TestTraceWriterRecordsOffsets(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Record("paper@int8", "interactive", []int{5, 128, 128})
+	tw.Record("paper", "", []int{5, 128, 128})
+	tw.Record("bad", "", []int{5, 128}) // wrong rank: dropped
+	if err := tw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if tw.Count() != 2 {
+		t.Fatalf("recorded %d events, want 2", tw.Count())
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	if events[0].TMS != 0 {
+		t.Fatalf("first event at t_ms %v, want 0 (trace-relative clock)", events[0].TMS)
+	}
+	if events[0].Model != "paper@int8" || events[0].SLO != "interactive" {
+		t.Fatalf("first event %+v lost fields", events[0])
+	}
+	if events[1].TMS < 0 {
+		t.Fatalf("second event at t_ms %v, want >= 0", events[1].TMS)
+	}
+}
+
+// TestReadTraceRejectsCorruptLines checks the reader's validation paths
+// report line numbers.
+func TestReadTraceRejectsCorruptLines(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad json", `{"t_ms":0,"model":"m","c":1,"h":1,"w":1}` + "\n{nope\n"},
+		{"negative time", `{"t_ms":-5,"model":"m","c":1,"h":1,"w":1}` + "\n"},
+		{"empty model", `{"t_ms":0,"model":"","c":1,"h":1,"w":1}` + "\n"},
+		{"zero dim", `{"t_ms":0,"model":"m","c":0,"h":1,"w":1}` + "\n"},
+		{"huge dim", `{"t_ms":0,"model":"m","c":1,"h":1,"w":2097152}` + "\n"},
+		{"bad slo", `{"t_ms":0,"model":"m","slo":"urgent","c":1,"h":1,"w":1}` + "\n"},
+		{"nan time", `{"t_ms":"x","model":"m","c":1,"h":1,"w":1}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error %q does not name the line", tc.name, err)
+		}
+	}
+	// Blank lines are fine.
+	events, err := ReadTrace(strings.NewReader("\n" + `{"t_ms":1,"model":"m","c":1,"h":1,"w":1}` + "\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("blank-line trace: %v, %d events", err, len(events))
+	}
+}
+
+// TestReplayHTTPPacesAndPosts replays a 3-event trace against a stub server
+// and checks the bodies decode, the model keys survive, and two replays send
+// identical payloads (deterministic synthesis).
+func TestReplayHTTPPacesAndPosts(t *testing.T) {
+	events := []TraceEvent{
+		{TMS: 0, Model: "paper", SLO: "interactive", C: 2, H: 4, W: 4},
+		{TMS: 1, Model: "paper@int8", C: 2, H: 4, W: 4},
+		{TMS: 2, Model: "paper", SLO: "batch", C: 2, H: 4, W: 4},
+	}
+	var mu atomic.Int64
+	var got [][]byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req httpx.PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("replay body: %v", err)
+		}
+		b, _ := json.Marshal(req)
+		got = append(got, b)
+		if mu.Add(1) == 2 {
+			w.WriteHeader(http.StatusTooManyRequests) // overload is data, not fatal
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	ok, err := ReplayHTTP(context.Background(), srv.Client(), srv.URL, events, 100, 7)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if ok != 2 {
+		t.Fatalf("%d successes, want 2 (one stubbed 429)", ok)
+	}
+	if len(got) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(got))
+	}
+	first := append([][]byte(nil), got...)
+
+	got = nil
+	mu.Store(0)
+	if _, err := ReplayHTTP(context.Background(), srv.Client(), srv.URL, events, 100, 7); err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], got[i]) {
+			t.Fatalf("replay %d not deterministic across runs", i)
+		}
+	}
+
+	// Cancellation stops the pacer promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	slow := []TraceEvent{{TMS: 60000, Model: "paper", C: 1, H: 1, W: 1}}
+	if _, err := ReplayHTTP(ctx, srv.Client(), srv.URL, slow, 1, 7); err != context.Canceled {
+		t.Fatalf("canceled replay returned %v, want context.Canceled", err)
+	}
+}
+
+// FuzzTraceDecode hammers the JSONL reader with arbitrary bytes: it must
+// never panic, and anything it accepts must validate and convert.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(`{"t_ms":0,"model":"paper","c":5,"h":128,"w":128}` + "\n"))
+	f.Add([]byte(`{"t_ms":1.5,"model":"paper@int8","slo":"batch","c":1,"h":1,"w":1}` + "\n"))
+	f.Add([]byte(`{"t_ms":-1,"model":"m","c":1,"h":1,"w":1}`))
+	f.Add([]byte(`{"t_ms":1e308,"model":"m","c":1,"h":1,"w":1}`))
+	f.Add([]byte("\n\n{}\n"))
+	f.Add([]byte(`{"t_ms":0,"model":"` + strings.Repeat("a", 300) + `","c":1,"h":1,"w":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			if verr := ev.Validate(); verr != nil {
+				t.Fatalf("ReadTrace accepted invalid event %d (%+v): %v", i, ev, verr)
+			}
+		}
+		arrivals, err := TraceArrivals(events)
+		if err != nil {
+			t.Fatalf("accepted trace failed conversion: %v", err)
+		}
+		for i := 1; i < len(arrivals); i++ {
+			if arrivals[i].At < arrivals[i-1].At {
+				t.Fatalf("TraceArrivals out of order at %d", i)
+			}
+		}
+		if len(arrivals) > 0 {
+			models := map[string]latmeter.ServiceModel{}
+			for _, a := range arrivals {
+				models[a.Model] = latmeter.ServiceModel{PerItemMS: 1}
+			}
+			if _, err := Run(Config{Models: models}, arrivals); err != nil {
+				t.Fatalf("accepted trace failed simulation: %v", err)
+			}
+		}
+	})
+}
