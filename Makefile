@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke quant-parity sim-replay
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke tenant-smoke quant-parity sim-replay
 
-ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke quant-parity sim-replay
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke tenant-smoke quant-parity sim-replay
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/route/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/... ./cmd/router/...
+	$(GO) test -race ./internal/serve/... ./internal/route/... ./internal/tenant/... ./internal/httpx/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/... ./cmd/router/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -44,6 +44,15 @@ obs-smoke:
 # the plan→cost-graph SJF seeding path end to end.
 router-smoke:
 	$(GO) test -race -count=1 -run 'RouterSmoke|RouterBinarySJFSeeding' ./cmd/router
+
+# Multi-tenant edge gate: boot the real servd binary (built -race) with a
+# key file, assert 401 for bad keys and 429 quota_exceeded for a dry
+# bucket, require full compliant-tenant goodput under a two-tenant flood,
+# complete a live-dashboard WebSocket handshake + SSE stream, and run the
+# in-process tier suites (fairness pin included) under the race detector.
+tenant-smoke:
+	$(GO) test -race -count=1 -run 'ServdTenantSmoke|RouterTenantTier' ./cmd/servd ./cmd/router
+	$(GO) test -race -count=1 ./internal/tenant
 
 # Simulator determinism + replay gate: a seeded simulation must render
 # byte-identically across runs, a recorded trace must replay to the exact

@@ -17,10 +17,14 @@
 //	                   fleet's aggregated serving counters
 //	GET  /v1/metrics   the same in Prometheus text exposition format
 //	GET  /v1/healthz   liveness + replica fleet size and policy
+//	GET  /v1/dashboard live dashboard (WebSocket at /v1/dashboard/ws, SSE
+//	                   fallback at /v1/dashboard/events)
 //
 // Errors reuse the shared envelope; the router adds two codes on top of
 // servd's set: throttled (429, token-bucket admission) and no_replicas
-// (503, empty fleet).
+// (503, empty fleet). With -keys the multi-tenant edge tier (shared with
+// servd) fronts /v1/predict, adding unauthorized (401) and quota_exceeded
+// (429) plus weighted-fair admission across tenants.
 //
 // With -sched sjf the dispatch order needs per-model latency estimates
 // before any traffic has flowed; the router seeds them by lowering each
@@ -53,6 +57,7 @@ import (
 	"drainnas/internal/metrics"
 	"drainnas/internal/route"
 	"drainnas/internal/serve"
+	"drainnas/internal/tenant"
 )
 
 func main() {
@@ -76,8 +81,22 @@ func main() {
 		workers     = flag.Int("workers", 0, "per-replica: worker pool size (0 = GOMAXPROCS)")
 		cacheCap    = flag.Int("cache", 4, "per-replica: resident model cache capacity")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+
+		keys           = flag.String("keys", "", "tenant API key file (JSON); enables the multi-tenant edge tier on /v1/predict")
+		keysRecheck    = flag.Duration("keys-recheck", 5*time.Second, "how often to re-stat the key file for hot reload")
+		tenantInflight = flag.Int("tenant-inflight", 0, "weighted-fair admission slots across tenants (0 = auth+quota only)")
+		dashInterval   = flag.Duration("dashboard-interval", time.Second, "live dashboard push interval")
 	)
 	flag.Parse()
+
+	var edge *tenant.Tier
+	if *keys != "" {
+		var err error
+		if edge, err = tenant.LoadTier(*keys, *keysRecheck, *tenantInflight, "router"); err != nil {
+			log.Fatalf("router: %v", err)
+		}
+		log.Printf("router: tenant tier enabled (%d tenants, fair slots %d)", edge.TenantCount(), *tenantInflight)
+	}
 
 	policy, err := route.PolicyByName(*policyName)
 	if err != nil {
@@ -137,7 +156,7 @@ func main() {
 		log.Fatalf("router: %v", err)
 	}
 	hs := &http.Server{
-		Handler:           httpx.AccessLog("router", newAPI(router, serving, *models)),
+		Handler:           httpx.AccessLog("router", newAPIWithTenant(router, serving, *models, edge, *dashInterval)),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -220,9 +239,16 @@ func seedEstimates(device, modelDir string, inputSize int) (map[string]float64, 
 // newAPI builds the HTTP handler over the routing tier. Split from main so
 // tests drive it in-process.
 func newAPI(router *route.Router, serving *metrics.ServingStats, modelDir string) *http.ServeMux {
+	return newAPIWithTenant(router, serving, modelDir, nil, 0)
+}
+
+// newAPIWithTenant is newAPI plus the optional multi-tenant edge tier in
+// front of /v1/predict, mirroring servd's assembly so clients see the same
+// auth and quota surface at either tier.
+func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, modelDir string, edge *tenant.Tier, dashInterval time.Duration) *http.ServeMux {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	var predict http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var req httpx.PredictRequest
 		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -279,26 +305,47 @@ func newAPI(router *route.Router, serving *metrics.ServingStats, modelDir string
 			Hedged:    resp.Hedged,
 		})
 	})
+	if edge != nil {
+		predict = edge.Wrap(predict)
+	}
+	mux.Handle("POST /v1/predict", predict)
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		ids := make([]string, 0, 8)
 		for _, rep := range router.Replicas() {
 			ids = append(ids, rep.ID())
 		}
-		httpx.WriteJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"router":   router.Stats().Snapshot(),
 			"serving":  serving.Snapshot(),
 			"replicas": ids,
 			"policy":   router.Policy().Name(),
 			"waiting":  router.Waiting(),
-		})
+		}
+		if edge != nil {
+			stats["tenant"] = edge.Stats().Snapshot()
+			stats["fair"] = edge.Fair().SnapshotFair()
+		}
+		httpx.WriteJSON(w, http.StatusOK, stats)
 	})
+
+	tenant.NewDashboard(edge, dashInterval, func() tenant.DashboardSnapshot {
+		return tenant.DashboardSnapshot{
+			Service: "router",
+			Serving: serving.Snapshot(),
+			Tenants: edge.Stats().Snapshot(),
+			Fair:    edge.Fair().SnapshotFair(),
+		}
+	}).Register(mux)
 
 	handleMetrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		e := metrics.NewExpositionWriter(w)
 		router.Stats().Snapshot().WriteProm(e)
 		serving.Snapshot().WriteProm(e)
+		if edge != nil {
+			edge.Stats().Snapshot().WriteProm(e)
+		}
 		if err := e.Flush(); err != nil {
 			log.Printf("router: writing /metrics: %v", err)
 		}

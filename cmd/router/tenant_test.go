@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"drainnas/internal/httpx"
+	"drainnas/internal/route"
+	"drainnas/internal/tenant"
+)
+
+// TestRouterTenantTier drives the router's /v1/predict through the
+// multi-tenant edge tier in-process: auth, quota, per-tenant stats section,
+// tenant Prometheus families, and the gated dashboard.
+func TestRouterTenantTier(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	router, serving, _ := testFleet(t, dir, 2, route.Options{})
+
+	keyPath := filepath.Join(dir, "keys.json")
+	keyJSON := `{"tenants": [
+		{"name": "acme", "key": "acme-secret-key", "weight": 2},
+		{"name": "capped", "key": "capped-secret-key", "rate_rps": 0.001, "burst": 1}
+	]}`
+	if err := os.WriteFile(keyPath, []byte(keyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := tenant.LoadTier(keyPath, time.Minute, 2, "router-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpx.AccessLog("router-test",
+		newAPIWithTenant(router, serving, dir, edge, 20*time.Millisecond)))
+	defer ts.Close()
+
+	do := func(key string, body []byte) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	body := predictBody(t, "tiny", "interactive")
+
+	// Unauthenticated and misauthenticated requests never reach the fleet.
+	resp := do("", body)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401", resp.StatusCode)
+	}
+	var env httpx.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if env.Error.Code != httpx.CodeUnauthorized {
+		t.Fatalf("code %q, want unauthorized", env.Error.Code)
+	}
+
+	// An authenticated predict flows through to a replica.
+	resp = do("acme-secret-key", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("authed predict status %d: %s", resp.StatusCode, b)
+	}
+	var pr httpx.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Model != "tiny" || pr.Replica == "" {
+		t.Fatalf("predict response %+v", pr)
+	}
+
+	// The capped tenant hits quota_exceeded on its second request.
+	resp = do("capped-secret-key", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capped first request status %d", resp.StatusCode)
+	}
+	resp = do("capped-secret-key", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d, want 429", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if env.Error.Code != httpx.CodeQuotaExceeded {
+		t.Fatalf("code %q, want quota_exceeded", env.Error.Code)
+	}
+
+	// /v1/stats grew the tenant and fair sections.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, section := range []string{"tenant", "fair", "router", "serving"} {
+		if _, ok := stats[section]; !ok {
+			t.Fatalf("/v1/stats missing %q section", section)
+		}
+	}
+	var tsnap struct {
+		PerTenant map[string]struct {
+			Admitted      uint64 `json:"admitted"`
+			QuotaExceeded uint64 `json:"quota_exceeded"`
+		} `json:"per_tenant"`
+	}
+	if err := json.Unmarshal(stats["tenant"], &tsnap); err != nil {
+		t.Fatal(err)
+	}
+	if tsnap.PerTenant["acme"].Admitted != 1 || tsnap.PerTenant["capped"].QuotaExceeded != 1 {
+		t.Fatalf("tenant stats %+v", tsnap.PerTenant)
+	}
+
+	// /metrics exposes the tenant families alongside the router's.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"drainnas_tenant_unauthorized_total 1",
+		`drainnas_tenant_requests_total{tenant="capped",outcome="quota_exceeded"} 1`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// The dashboard is key-gated and streams.
+	resp, err = http.Get(ts.URL + "/v1/dashboard/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("ungated dashboard status %d, want 401", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/dashboard/events?key=acme-secret-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard sse status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("dashboard stream yielded nothing: %v", err)
+	}
+}

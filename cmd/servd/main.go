@@ -22,16 +22,27 @@
 //	                   format, including latency histograms and quantiles
 //	GET  /v1/healthz   liveness + available models; 503 "degraded" when the
 //	                   model directory is unreadable
+//	GET  /v1/dashboard live dashboard (HTML); /v1/dashboard/ws streams
+//	                   snapshots over WebSocket, /v1/dashboard/events over
+//	                   SSE for clients that cannot upgrade
 //	GET  /debug/pprof/ runtime profiles (only with -pprof)
+//
+// With -keys the multi-tenant edge tier fronts /v1/predict: requests carry
+// an API key (Authorization: Bearer or X-API-Key), pass their tenant's
+// token-bucket quota, and wait their weighted-fair turn (-tenant-inflight
+// slots) before reaching the batcher. The key file hot-reloads, /v1/stats
+// and /metrics grow per-tenant sections, the dashboard becomes
+// key-gated, and every authenticated request leaves an audit log line.
 //
 // Errors share one JSON envelope with a stable machine-readable code:
 //
 //	{"error":{"code":"queue_full","message":"...","request_id":"..."}}
 //
-// Codes: bad_input (400), model_not_found (404), queue_full (429, with
-// Retry-After), shutting_down (503), canceled (503), internal (500).
-// Every response carries an X-Request-ID (honoring an incoming one) and is
-// access-logged with its latency.
+// Codes: bad_input (400), unauthorized (401), model_not_found (404),
+// queue_full and quota_exceeded (429, with Retry-After), shutting_down
+// (503), canceled (503), internal (500). Every response carries an
+// X-Request-ID (honoring a well-formed incoming one) and is access-logged
+// with its latency.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
 // requests for up to -drain, closes the serving core (flushing pending
@@ -58,6 +69,7 @@ import (
 	"drainnas/internal/metrics"
 	"drainnas/internal/serve"
 	"drainnas/internal/sim"
+	"drainnas/internal/tenant"
 	"drainnas/internal/tensor"
 )
 
@@ -73,8 +85,22 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		traceOut  = flag.String("trace", "", "record arrivals (t_ms, model, slo, shape) as JSONL to this file for capsim replay")
+
+		keys           = flag.String("keys", "", "tenant API key file (JSON); enables the multi-tenant edge tier on /v1/predict")
+		keysRecheck    = flag.Duration("keys-recheck", 5*time.Second, "how often to re-stat the key file for hot reload")
+		tenantInflight = flag.Int("tenant-inflight", 0, "weighted-fair admission slots across tenants (0 = auth+quota only)")
+		dashInterval   = flag.Duration("dashboard-interval", time.Second, "live dashboard push interval")
 	)
 	flag.Parse()
+
+	var edge *tenant.Tier
+	if *keys != "" {
+		var err error
+		if edge, err = tenant.LoadTier(*keys, *keysRecheck, *tenantInflight, "servd"); err != nil {
+			log.Fatalf("servd: %v", err)
+		}
+		log.Printf("servd: tenant tier enabled (%d tenants, fair slots %d)", edge.TenantCount(), *tenantInflight)
+	}
 
 	var rec *sim.TraceWriter
 	if *traceOut != "" {
@@ -96,7 +122,7 @@ func main() {
 		log.Fatalf("servd: %v", err)
 	}
 
-	mux := newAPIWithTrace(srv, *models, rec)
+	mux := newAPIWithTenant(srv, *models, rec, edge, *dashInterval)
 	if *pprofFlag {
 		registerPprof(mux)
 	}
@@ -202,9 +228,18 @@ func newAPI(srv *serve.Server, modelDir string) *http.ServeMux {
 // so the trace captures offered load (including requests the queue later
 // rejects), which is what capacity replay needs.
 func newAPIWithTrace(srv *serve.Server, modelDir string, rec *sim.TraceWriter) *http.ServeMux {
+	return newAPIWithTenant(srv, modelDir, rec, nil, 0)
+}
+
+// newAPIWithTenant is the full assembly: when edge is non-nil, /v1/predict
+// sits behind the multi-tenant tier (API-key auth, per-tenant quotas,
+// weighted-fair admission) and /v1/stats and /metrics grow per-tenant
+// sections. The live dashboard is always mounted; it is auth-gated exactly
+// when the tier is on.
+func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, edge *tenant.Tier, dashInterval time.Duration) *http.ServeMux {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	var predict http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
 		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -253,9 +288,13 @@ func newAPIWithTrace(srv *serve.Server, modelDir string, rec *sim.TraceWriter) *
 			TotalMS:   float64(resp.Total) / float64(time.Millisecond),
 		})
 	})
+	if edge != nil {
+		predict = edge.Wrap(predict)
+	}
+	mux.Handle("POST /v1/predict", predict)
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"serving": srv.Stats().Snapshot(),
 			"cache":   srv.Cache().Stats(),
 			"queue":   srv.QueueDepth(),
@@ -263,8 +302,22 @@ func newAPIWithTrace(srv *serve.Server, modelDir string, rec *sim.TraceWriter) *
 			"kernel":  metrics.Kernel.Snapshot(),
 			"gemm":    tensor.GemmKernelName(),
 			"qgemm":   tensor.QGemmKernelName(),
-		})
+		}
+		if edge != nil {
+			stats["tenant"] = edge.Stats().Snapshot()
+			stats["fair"] = edge.Fair().SnapshotFair()
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
+
+	tenant.NewDashboard(edge, dashInterval, func() tenant.DashboardSnapshot {
+		return tenant.DashboardSnapshot{
+			Service: "servd",
+			Serving: srv.Stats().Snapshot(),
+			Tenants: edge.Stats().Snapshot(),
+			Fair:    edge.Fair().SnapshotFair(),
+		}
+	}).Register(mux)
 
 	handleMetrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -273,6 +326,9 @@ func newAPIWithTrace(srv *serve.Server, modelDir string, rec *sim.TraceWriter) *
 		writeCacheProm(e, srv.Cache().Stats())
 		metrics.Infer.Snapshot().WriteProm(e)
 		metrics.Kernel.Snapshot().WriteProm(e)
+		if edge != nil {
+			edge.Stats().Snapshot().WriteProm(e)
+		}
 		if err := e.Flush(); err != nil {
 			log.Printf("servd: writing /metrics: %v", err)
 		}

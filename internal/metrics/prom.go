@@ -251,6 +251,37 @@ func (s RouterSnapshot) WriteProm(e *ExpositionWriter) {
 	}
 }
 
+// WriteProm renders the multi-tenant edge-tier counters: the global
+// unauthorized count and per-tenant request outcomes, fair-queue wait and
+// end-to-end latency.
+func (s TenantSnapshot) WriteProm(e *ExpositionWriter) {
+	e.Counter("drainnas_tenant_unauthorized_total",
+		"Requests rejected for a missing or unknown API key.", float64(s.Unauthorized))
+
+	tenants := sortedKeys(s.PerTenant)
+	for _, name := range tenants {
+		t := s.PerTenant[name]
+		for _, o := range []struct {
+			outcome string
+			v       uint64
+		}{
+			{"admitted", t.Admitted}, {"quota_exceeded", t.QuotaExceeded},
+			{"completed", t.Completed}, {"failed", t.Failed},
+		} {
+			e.Counter("drainnas_tenant_requests_total", "Per-tenant requests by outcome.",
+				float64(o.v), "tenant", name, "outcome", o.outcome)
+		}
+	}
+	for _, name := range tenants {
+		e.Histogram("drainnas_tenant_queue_wait_seconds", "Per-tenant wait at the weighted-fair admission gate.",
+			s.PerTenant[name].QueueWait, "tenant", name)
+	}
+	for _, name := range tenants {
+		e.Histogram("drainnas_tenant_latency_seconds", "Per-tenant end-to-end latency through the edge tier.",
+			s.PerTenant[name].Latency, "tenant", name)
+	}
+}
+
 // sortedKeys returns m's keys in sorted order for deterministic exposition.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

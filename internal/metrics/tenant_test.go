@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantStatsLifecycle(t *testing.T) {
+	s := &TenantStats{}
+	s.Unauthorized()
+	s.Unauthorized()
+	s.Admitted("acme")
+	s.Completed("acme", time.Millisecond, 5*time.Millisecond)
+	s.Admitted("acme")
+	s.Failed("acme", time.Millisecond, 2*time.Millisecond)
+	s.QuotaExceeded("noisy")
+	s.Admitted("noisy")
+	s.Completed("noisy", 2*time.Millisecond, 9*time.Millisecond)
+
+	snap := s.Snapshot()
+	if snap.Unauthorized != 2 {
+		t.Fatalf("unauthorized %d, want 2", snap.Unauthorized)
+	}
+	acme, noisy := snap.PerTenant["acme"], snap.PerTenant["noisy"]
+	if acme.Admitted != 2 || acme.Completed != 1 || acme.Failed != 1 || acme.QuotaExceeded != 0 {
+		t.Fatalf("acme %+v", acme)
+	}
+	if noisy.Admitted != 1 || noisy.QuotaExceeded != 1 || noisy.Completed != 1 {
+		t.Fatalf("noisy %+v", noisy)
+	}
+	if acme.Latency.Count != 2 || acme.QueueWait.Count != 2 {
+		t.Fatalf("acme histograms: lat=%d wait=%d, want 2/2", acme.Latency.Count, acme.QueueWait.Count)
+	}
+	if noisy.Latency.Max != 9*time.Millisecond {
+		t.Fatalf("noisy latency max %v", noisy.Latency.Max)
+	}
+	if str := snap.String(); !strings.Contains(str, "unauth=2") {
+		t.Fatalf("snapshot string %q", str)
+	}
+}
+
+// TestTenantStatsCapOverflow pins the anti-growth cap, mirroring the
+// per-model maxTrackedModels tests: tenants beyond the cap blend into the
+// overflow key and the map never grows past cap+1.
+func TestTenantStatsCapOverflow(t *testing.T) {
+	s := &TenantStats{}
+	for i := 0; i < maxTrackedTenants+50; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		s.Admitted(name)
+		s.QuotaExceeded(name)
+	}
+	snap := s.Snapshot()
+	if len(snap.PerTenant) != maxTrackedTenants+1 {
+		t.Fatalf("per-tenant map has %d entries, want cap %d + overflow", len(snap.PerTenant), maxTrackedTenants)
+	}
+	over, ok := snap.PerTenant[OverflowTenantKey]
+	if !ok || over.Admitted != 50 || over.QuotaExceeded != 50 {
+		t.Fatalf("overflow bucket %+v (present=%v), want 50 admitted + 50 quota-rejected", over, ok)
+	}
+	// A tenant tracked before the cap keeps its own counters.
+	first := snap.PerTenant["tenant-0"]
+	if first.Admitted != 1 {
+		t.Fatalf("pre-cap tenant lost its counters: %+v", first)
+	}
+	// Histograms blend into the overflow key the same way.
+	s.Completed("tenant-9999", time.Millisecond, time.Millisecond)
+	snap = s.Snapshot()
+	if got := snap.PerTenant[OverflowTenantKey].Latency.Count; got != 1 {
+		t.Fatalf("overflow latency count %d, want 1", got)
+	}
+}
+
+func TestTenantStatsNilReceiverIsSafe(t *testing.T) {
+	var s *TenantStats
+	s.Unauthorized()
+	s.Admitted("x")
+	s.QuotaExceeded("x")
+	s.Completed("x", time.Millisecond, time.Millisecond)
+	s.Failed("x", time.Millisecond, time.Millisecond)
+	if snap := s.Snapshot(); snap.Unauthorized != 0 || len(snap.PerTenant) != 0 {
+		t.Fatalf("nil snapshot %+v", snap)
+	}
+}
+
+func TestTenantStatsConcurrent(t *testing.T) {
+	s := &TenantStats{}
+	const goroutines = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", g%3)
+			for i := 0; i < per; i++ {
+				s.Admitted(name)
+				if i%2 == 0 {
+					s.Completed(name, time.Microsecond, 2*time.Microsecond)
+				} else {
+					s.Failed(name, time.Microsecond, time.Microsecond)
+				}
+				_ = s.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	var admitted, done uint64
+	for _, c := range snap.PerTenant {
+		admitted += c.Admitted
+		done += c.Completed + c.Failed
+	}
+	if admitted != goroutines*per || done != admitted {
+		t.Fatalf("accounting broken: admitted=%d done=%d want %d", admitted, done, goroutines*per)
+	}
+}
+
+// TestTenantSnapshotWriteProm holds the tenant families to the exposition
+// validator and pins the family names the README documents.
+func TestTenantSnapshotWriteProm(t *testing.T) {
+	s := &TenantStats{}
+	s.Unauthorized()
+	s.Admitted("acme")
+	s.Completed("acme", time.Millisecond, 3*time.Millisecond)
+	s.QuotaExceeded("noisy")
+
+	var buf bytes.Buffer
+	e := NewExpositionWriter(&buf)
+	s.Snapshot().WriteProm(e)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.Bytes()
+	if err := ValidateExposition(bytes.NewReader(page)); err != nil {
+		t.Fatalf("tenant exposition invalid: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		"drainnas_tenant_unauthorized_total 1",
+		`drainnas_tenant_requests_total{tenant="acme",outcome="completed"} 1`,
+		`drainnas_tenant_requests_total{tenant="noisy",outcome="quota_exceeded"} 1`,
+		`drainnas_tenant_queue_wait_seconds_bucket{tenant="acme",`,
+		`drainnas_tenant_latency_seconds_count{tenant="noisy"} 0`,
+	} {
+		if !bytes.Contains(page, []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, page)
+		}
+	}
+}

@@ -43,12 +43,16 @@ func (tb *TokenBucket) Allow() bool {
 	defer tb.mu.Unlock()
 	now := tb.clock.Now().UnixNano()
 	if now > tb.last {
+		// last only ever advances. Setting it unconditionally would let a
+		// clock regression (a rewound fake clock, a non-monotonic wall
+		// source) drag last backward, and the next forward reading would
+		// re-credit the interval as refill a second time.
 		tb.tokens += tb.rate * float64(now-tb.last) / 1e9
 		if tb.tokens > tb.burst {
 			tb.tokens = tb.burst
 		}
+		tb.last = now
 	}
-	tb.last = now
 	if tb.tokens < 1 {
 		return false
 	}

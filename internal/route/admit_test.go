@@ -1,0 +1,71 @@
+package route_test
+
+import (
+	"testing"
+	"time"
+
+	"drainnas/internal/route"
+	"drainnas/internal/route/routetest"
+)
+
+// TestTokenBucketClockRegression is the regression test for the rewound
+// last-refill timestamp: a clock that moves backward (FakeClock rewind, a
+// non-monotonic wall source) must not rewind the bucket's refill anchor,
+// because the subsequent forward reading would then credit the same
+// interval's tokens a second time. With the bug, draining the bucket at T,
+// rewinding 5s and returning to T minted 5 tokens out of thin air.
+func TestTokenBucketClockRegression(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	tb := route.NewTokenBucket(1, 10, clock)
+
+	// Drain the full burst at T0.
+	for i := 0; i < 10; i++ {
+		if !tb.Allow() {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("drained bucket admitted an 11th request")
+	}
+
+	// Rewind the clock 5s and poke the bucket so it observes the regression.
+	clock.Advance(-5 * time.Second)
+	if tb.Allow() {
+		t.Fatal("bucket admitted during clock regression")
+	}
+
+	// Return to T0: zero net time has passed, so zero tokens must exist.
+	clock.Advance(5 * time.Second)
+	if tb.Allow() {
+		t.Fatal("double-credited refill: bucket admitted at T0 after a rewind/return with no net elapsed time")
+	}
+
+	// Genuine forward progress still refills at the configured rate.
+	clock.Advance(3 * time.Second)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow() {
+			t.Fatalf("request %d after 3s refill rejected", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("more than 3 tokens after 3s at 1 rps")
+	}
+}
+
+// TestTokenBucketRefillUnaffectedByFix pins ordinary monotonic behavior
+// around the regression fix: partial refill accumulates across reads.
+func TestTokenBucketRefillUnaffectedByFix(t *testing.T) {
+	clock := routetest.NewFakeClock()
+	tb := route.NewTokenBucket(2, 1, clock)
+	if !tb.Allow() {
+		t.Fatal("initial token rejected")
+	}
+	clock.Advance(250 * time.Millisecond) // 0.5 tokens
+	if tb.Allow() {
+		t.Fatal("admitted on half a token")
+	}
+	clock.Advance(250 * time.Millisecond) // accumulates to 1.0
+	if !tb.Allow() {
+		t.Fatal("full accumulated token rejected")
+	}
+}

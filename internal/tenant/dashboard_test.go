@@ -1,0 +1,226 @@
+package tenant
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drainnas/internal/httpx"
+	"drainnas/internal/metrics"
+	"drainnas/internal/route/routetest"
+)
+
+// newDashboardServer stands up the dashboard behind httpx.AccessLog — the
+// production wrapping — so these tests exercise the Hijacker and Flusher
+// forwarding through StatusRecorder end to end.
+func newDashboardServer(t *testing.T, withTier bool) (*httptest.Server, *Tier) {
+	t.Helper()
+	var tier *Tier
+	if withTier {
+		tier, _ = newTestTier(t, routetest.NewFakeClock(), 2)
+	}
+	stats := &metrics.ServingStats{}
+	snapshot := func() DashboardSnapshot {
+		var tenants metrics.TenantSnapshot
+		var fair FairSnapshot
+		if tier != nil {
+			tenants = tier.Stats().Snapshot()
+			fair = tier.Fair().SnapshotFair()
+		}
+		return DashboardSnapshot{
+			Service: "test",
+			Serving: stats.Snapshot(),
+			Tenants: tenants,
+			Fair:    fair,
+		}
+	}
+	mux := http.NewServeMux()
+	NewDashboard(tier, 10*time.Millisecond, snapshot).Register(mux)
+	ts := httptest.NewServer(httpx.AccessLog("test", mux))
+	t.Cleanup(ts.Close)
+	return ts, tier
+}
+
+// readServerFrame parses one unmasked server→client WebSocket frame.
+func readServerFrame(t *testing.T, r *bufio.Reader) (opcode byte, payload []byte) {
+	t.Helper()
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if hdr[1]&0x80 != 0 {
+		t.Fatal("server frame is masked; RFC 6455 forbids that")
+	}
+	length := uint64(hdr[1] & 0x7f)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			t.Fatal(err)
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			t.Fatal(err)
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		t.Fatal(err)
+	}
+	return hdr[0] & 0x0f, payload
+}
+
+func TestDashboardWebSocketHandshake(t *testing.T) {
+	ts, _ := newDashboardServer(t, false)
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const clientKey = "dGhlIHNhbXBsZSBub25jZQ==" // the RFC 6455 example key
+	req := "GET /v1/dashboard/ws HTTP/1.1\r\n" +
+		"Host: dashboard\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: keep-alive, Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + clientKey + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "101") {
+		t.Fatalf("handshake status %q, want 101", strings.TrimSpace(status))
+	}
+	var acceptHdr string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Sec-WebSocket-Accept: "); ok {
+			acceptHdr = strings.TrimSpace(v)
+		}
+	}
+	// The fixed accept value for the RFC's sample key (RFC 6455 §1.3).
+	if want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="; acceptHdr != want {
+		t.Fatalf("Sec-WebSocket-Accept %q, want %q", acceptHdr, want)
+	}
+	if got := wsAcceptKey(clientKey); got != acceptHdr {
+		t.Fatalf("wsAcceptKey %q disagrees with handshake %q", got, acceptHdr)
+	}
+
+	// The first frame arrives immediately and is a JSON snapshot.
+	opcode, payload := readServerFrame(t, br)
+	if opcode != opText {
+		t.Fatalf("opcode %#x, want text", opcode)
+	}
+	var snap DashboardSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		t.Fatalf("frame is not a snapshot: %v\n%s", err, payload)
+	}
+	if snap.Service != "test" {
+		t.Fatalf("snapshot service %q", snap.Service)
+	}
+
+	// A second frame follows on the tick — the stream is live, not one-shot.
+	if opcode, _ = readServerFrame(t, br); opcode != opText {
+		t.Fatalf("second frame opcode %#x", opcode)
+	}
+}
+
+func TestDashboardWebSocketRejectsPlainGET(t *testing.T) {
+	ts, _ := newDashboardServer(t, false)
+	resp, err := http.Get(ts.URL + "/v1/dashboard/ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("status %d, want 426", resp.StatusCode)
+	}
+}
+
+func TestDashboardSSEStream(t *testing.T) {
+	ts, _ := newDashboardServer(t, false)
+	resp, err := http.Get(ts.URL + "/v1/dashboard/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// Two events must arrive while the response is still open — only
+	// possible if the handler can flush through the middleware.
+	br := bufio.NewReader(resp.Body)
+	for event := 0; event < 2; event++ {
+		var data string
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream ended early: %v", err)
+			}
+			if strings.HasPrefix(line, "data: ") {
+				data = strings.TrimPrefix(strings.TrimSpace(line), "data: ")
+				break
+			}
+		}
+		var snap DashboardSnapshot
+		if err := json.Unmarshal([]byte(data), &snap); err != nil {
+			t.Fatalf("event %d is not a snapshot: %v", event, err)
+		}
+	}
+}
+
+func TestDashboardAuthGate(t *testing.T) {
+	ts, _ := newDashboardServer(t, true)
+
+	// No key: 401 with the envelope code.
+	resp, err := http.Get(ts.URL + "/v1/dashboard/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status %d, want 401", resp.StatusCode)
+	}
+	if e := decodeError(t, resp.Body); e.Code != httpx.CodeUnauthorized {
+		t.Fatalf("code %q", e.Code)
+	}
+	resp.Body.Close()
+
+	// ?key= works for browser EventSource/WebSocket clients.
+	resp, err = http.Get(ts.URL + "/v1/dashboard?key=open-secret-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with query key, want 200", resp.StatusCode)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(page), "drainnas live dashboard") {
+		t.Fatal("dashboard page missing")
+	}
+}

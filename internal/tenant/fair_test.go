@@ -1,0 +1,257 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"drainnas/internal/route"
+)
+
+// grantRecorder drives a capacity-1 FairQueue deterministically: every
+// granted waiter appends its label to the order slice and releases its
+// slot, which hands the slot to the scheduler's next pick. With one slot,
+// the append order IS the grant order.
+type grantRecorder struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (g *grantRecorder) run(t *testing.T, q *FairQueue, tenantName, label string, weight float64, class route.SLOClass, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := q.Acquire(context.Background(), tenantName, weight, class); err != nil {
+			t.Errorf("%s: acquire: %v", label, err)
+			return
+		}
+		g.mu.Lock()
+		g.order = append(g.order, label)
+		g.mu.Unlock()
+		q.Release()
+	}()
+}
+
+// waitBacklog spins until the gate holds n waiters.
+func waitBacklog(t *testing.T, q *FairQueue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Waiting() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog stuck at %d, want %d", q.Waiting(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func countIn(order []string, label string, firstN int) int {
+	if firstN > len(order) {
+		firstN = len(order)
+	}
+	n := 0
+	for _, o := range order[:firstN] {
+		if o == label {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFairQueueFloodIsolation is the acceptance pin from the issue: two
+// tenants at equal weight, one flooding at 10x the compliant tenant's
+// demand, and the compliant tenant's goodput within a fixed grant budget
+// must stay >= 90% of its solo baseline.
+func TestFairQueueFloodIsolation(t *testing.T) {
+	const (
+		compliantReqs = 20
+		floodReqs     = 10 * compliantReqs
+		grantBudget   = 2 * compliantReqs
+	)
+
+	// Solo baseline: the compliant tenant alone, behind a held slot.
+	solo := func() int {
+		q := NewFairQueue(1)
+		if err := q.Acquire(context.Background(), "blocker", 1, route.ClassStandard); err != nil {
+			t.Fatal(err)
+		}
+		rec := &grantRecorder{}
+		var wg sync.WaitGroup
+		for i := 0; i < compliantReqs; i++ {
+			rec.run(t, q, "compliant", "compliant", 1, route.ClassStandard, &wg)
+		}
+		waitBacklog(t, q, compliantReqs)
+		q.Release()
+		wg.Wait()
+		return countIn(rec.order, "compliant", grantBudget)
+	}()
+	if solo != compliantReqs {
+		t.Fatalf("solo baseline %d, want all %d requests inside the budget", solo, compliantReqs)
+	}
+
+	// Mixed: the flooder already holds the slot and has a 10x backlog.
+	q := NewFairQueue(1)
+	if err := q.Acquire(context.Background(), "flood", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	rec := &grantRecorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < floodReqs; i++ {
+		rec.run(t, q, "flood", "flood", 1, route.ClassStandard, &wg)
+	}
+	for i := 0; i < compliantReqs; i++ {
+		rec.run(t, q, "compliant", "compliant", 1, route.ClassStandard, &wg)
+	}
+	waitBacklog(t, q, floodReqs+compliantReqs)
+	q.Release()
+	wg.Wait()
+
+	if len(rec.order) != floodReqs+compliantReqs {
+		t.Fatalf("recorded %d grants, want %d", len(rec.order), floodReqs+compliantReqs)
+	}
+	mixed := countIn(rec.order, "compliant", grantBudget)
+	if mixed*10 < solo*9 {
+		t.Fatalf("flood broke isolation: compliant completed %d of %d in the first %d grants (solo baseline %d, need >= 90%%)",
+			mixed, compliantReqs, grantBudget, solo)
+	}
+	if got := q.InUse(); got != 0 {
+		t.Fatalf("slots leaked: in use %d", got)
+	}
+}
+
+// TestFairQueueWeightedShares pins the stride arithmetic: weight 3 vs
+// weight 1 splits a contention interval 3:1.
+func TestFairQueueWeightedShares(t *testing.T) {
+	const each = 40
+	q := NewFairQueue(1)
+	if err := q.Acquire(context.Background(), "blocker", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	rec := &grantRecorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < each; i++ {
+		rec.run(t, q, "heavy", "heavy", 3, route.ClassStandard, &wg)
+		rec.run(t, q, "light", "light", 1, route.ClassStandard, &wg)
+	}
+	waitBacklog(t, q, 2*each)
+	q.Release()
+	wg.Wait()
+
+	// While both stay backlogged — the first 40 grants — heavy should take
+	// ~3/4 of the slots. One grant of slack for stride boundary effects.
+	heavy := countIn(rec.order, "heavy", each)
+	if heavy < 29 || heavy > 31 {
+		t.Fatalf("heavy won %d of first %d grants, want ~30 (3:1 split)", heavy, each)
+	}
+}
+
+// TestFairQueueSLOOrderWithinTenant pins the composition with SLO classes:
+// inside one tenant's queue, interactive beats standard beats batch
+// regardless of arrival order.
+func TestFairQueueSLOOrderWithinTenant(t *testing.T) {
+	q := NewFairQueue(1)
+	if err := q.Acquire(context.Background(), "blocker", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	rec := &grantRecorder{}
+	var wg sync.WaitGroup
+	// Enqueue one at a time so arrival order is deterministic: batch first,
+	// interactive last.
+	arrivals := []struct {
+		label string
+		class route.SLOClass
+	}{
+		{"batch-1", route.ClassBatch},
+		{"batch-2", route.ClassBatch},
+		{"standard-1", route.ClassStandard},
+		{"interactive-1", route.ClassInteractive},
+	}
+	for i, a := range arrivals {
+		rec.run(t, q, "acme", a.label, 1, a.class, &wg)
+		waitBacklog(t, q, i+1)
+	}
+	q.Release()
+	wg.Wait()
+
+	want := []string{"interactive-1", "standard-1", "batch-1", "batch-2"}
+	for i, label := range want {
+		if rec.order[i] != label {
+			t.Fatalf("grant order %v, want %v", rec.order, want)
+		}
+	}
+}
+
+// TestFairQueueCancelWhileQueued: a canceled waiter leaves the queue
+// without consuming or leaking a slot.
+func TestFairQueueCancelWhileQueued(t *testing.T) {
+	q := NewFairQueue(1)
+	if err := q.Acquire(context.Background(), "a", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Acquire(ctx, "b", 1, route.ClassStandard) }()
+	waitBacklog(t, q, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled acquire returned %v", err)
+	}
+	if q.Waiting() != 0 {
+		t.Fatalf("canceled waiter still queued: %d", q.Waiting())
+	}
+	// The slot is still usable by the next request.
+	q.Release()
+	if err := q.Acquire(context.Background(), "c", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	q.Release()
+	if q.InUse() != 0 {
+		t.Fatalf("in use %d after drain", q.InUse())
+	}
+}
+
+// TestFairQueueNilIsUnlimited: the disabled gate admits everything and
+// reports empty stats.
+func TestFairQueueNilIsUnlimited(t *testing.T) {
+	var q *FairQueue
+	if q != NewFairQueue(0) {
+		t.Fatal("capacity 0 should disable the gate")
+	}
+	for i := 0; i < 100; i++ {
+		if err := q.Acquire(context.Background(), "x", 1, route.ClassBatch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Release()
+	if q.Waiting() != 0 || q.InUse() != 0 || q.Capacity() != 0 || q.Depths() != nil {
+		t.Fatal("nil gate should report zeroes")
+	}
+	if snap := q.SnapshotFair(); snap.Capacity != 0 || snap.Depths != nil {
+		t.Fatalf("nil gate snapshot %+v", snap)
+	}
+}
+
+// TestFairQueueDepths: backlog attribution per tenant.
+func TestFairQueueDepths(t *testing.T) {
+	q := NewFairQueue(1)
+	if err := q.Acquire(context.Background(), "a", 1, route.ClassStandard); err != nil {
+		t.Fatal(err)
+	}
+	rec := &grantRecorder{}
+	var wg sync.WaitGroup
+	rec.run(t, q, "a", "a", 1, route.ClassStandard, &wg)
+	rec.run(t, q, "b", "b", 1, route.ClassStandard, &wg)
+	rec.run(t, q, "b", "b", 1, route.ClassStandard, &wg)
+	waitBacklog(t, q, 3)
+	d := q.Depths()
+	if d["a"] != 1 || d["b"] != 2 {
+		t.Fatalf("depths %v, want a:1 b:2", d)
+	}
+	snap := q.SnapshotFair()
+	if snap.Capacity != 1 || snap.InUse != 1 || snap.Waiting != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	q.Release()
+	wg.Wait()
+}

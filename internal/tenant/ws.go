@@ -1,0 +1,212 @@
+package tenant
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Minimal server-side RFC 6455 WebSocket support for the live dashboard —
+// hand-rolled because the module takes no dependencies beyond the standard
+// library. Only what the dashboard needs is implemented: the upgrade
+// handshake, unfragmented text frames server→client, and enough of the
+// client→server read path to answer pings and notice a close. It rides on
+// http.Hijacker, which is exactly the capability the StatusRecorder
+// middleware forwards.
+
+// wsGUID is the fixed handshake GUID from RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket frame opcodes (RFC 6455 §5.2).
+const (
+	opText  = 0x1
+	opClose = 0x8
+	opPing  = 0x9
+	opPong  = 0xa
+)
+
+// wsAcceptKey derives the Sec-WebSocket-Accept value for a client key.
+func wsAcceptKey(key string) string {
+	sum := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(sum[:])
+}
+
+// WSConn is one upgraded dashboard connection. Writes are serialized; the
+// read side runs only in serveRead.
+type WSConn struct {
+	conn net.Conn
+	rw   *bufio.ReadWriter
+	wmu  sync.Mutex
+}
+
+// headerContainsToken reports whether a comma-separated header list
+// contains token, case-insensitively ("Connection: keep-alive, Upgrade").
+func headerContainsToken(value, token string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// UpgradeWebSocket performs the RFC 6455 server handshake and hijacks the
+// connection. On failure it writes the error response itself and returns a
+// non-nil error; on success the caller owns the returned connection.
+func UpgradeWebSocket(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerContainsToken(r.Header.Get("Connection"), "Upgrade") {
+		w.Header().Set("Upgrade", "websocket")
+		http.Error(w, "expected a WebSocket upgrade", http.StatusUpgradeRequired)
+		return nil, errors.New("tenant: not a websocket upgrade request")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported WebSocket version", http.StatusBadRequest)
+		return nil, errors.New("tenant: unsupported websocket version")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("tenant: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, errors.New("tenant: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "hijack failed", http.StatusInternalServerError)
+		return nil, fmt.Errorf("tenant: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err == nil {
+		err = rw.Flush()
+	} else {
+		_ = rw.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tenant: writing handshake: %w", err)
+	}
+	return &WSConn{conn: conn, rw: rw}, nil
+}
+
+// WriteText sends one unfragmented text frame. Server frames are unmasked
+// (RFC 6455 §5.1).
+func (c *WSConn) WriteText(payload []byte) error { return c.writeFrame(opText, payload) }
+
+func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [10]byte
+	hdr[0] = 0x80 | opcode // FIN set, no fragmentation
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xffff:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if _, err := c.rw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return err
+	}
+	return c.rw.Flush()
+}
+
+// maxControlRead bounds a client frame the dashboard is willing to buffer;
+// the browser only ever sends tiny control frames and close reasons.
+const maxControlRead = 4096
+
+// readFrame reads one client frame (clients must mask; RFC 6455 §5.3) and
+// returns its opcode and unmasked payload.
+func (c *WSConn) readFrame() (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	opcode = hdr[0] & 0x0f
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7f)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.rw, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.rw, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxControlRead {
+		return 0, nil, fmt.Errorf("tenant: client frame of %d bytes exceeds limit", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.rw, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.rw, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// serveRead drains client frames, answering pings, until the client closes
+// or errors; it then closes done so the write loop stops.
+func (c *WSConn) serveRead(done chan<- struct{}) {
+	defer close(done)
+	for {
+		opcode, payload, err := c.readFrame()
+		if err != nil {
+			return
+		}
+		switch opcode {
+		case opPing:
+			if c.writeFrame(opPong, payload) != nil {
+				return
+			}
+		case opClose:
+			_ = c.writeFrame(opClose, nil)
+			return
+		}
+	}
+}
+
+// Close sends a close frame (best effort) and tears down the connection.
+func (c *WSConn) Close() error {
+	_ = c.writeFrame(opClose, nil)
+	return c.conn.Close()
+}
