@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke tenant-smoke quant-parity sim-replay
+.PHONY: ci vet build test race fuzz race-all crash-resume bench-kernels bench-infer bench-smoke obs-smoke router-smoke tenant-smoke scan-smoke quant-parity sim-replay
 
-ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke tenant-smoke quant-parity sim-replay
+ci: vet build test race crash-resume fuzz bench-smoke obs-smoke router-smoke tenant-smoke scan-smoke quant-parity sim-replay
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # The packages with dedicated concurrency suites. `race-all` widens this to
 # every internal package (slower; the numeric packages dominate).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/route/... ./internal/tenant/... ./internal/httpx/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./cmd/servd/... ./cmd/router/...
+	$(GO) test -race ./internal/serve/... ./internal/route/... ./internal/tenant/... ./internal/httpx/... ./internal/infer/... ./internal/profiler/... ./internal/parallel/... ./internal/metrics/... ./internal/tensor/... ./internal/scan/... ./cmd/servd/... ./cmd/router/...
 
 race-all:
 	$(GO) test -race ./internal/...
@@ -53,6 +53,16 @@ router-smoke:
 tenant-smoke:
 	$(GO) test -race -count=1 -run 'ServdTenantSmoke|RouterTenantTier' ./cmd/servd ./cmd/router
 	$(GO) test -race -count=1 ./internal/tenant
+
+# Whole-watershed scan gate: a race-built servd replica behind a
+# race-built router, a small synthetic watershed scanned end to end
+# through the /v1/scan job API (ordered gapless event stream, nonzero
+# crossings, byte-identical heat map across two runs, clean drain after a
+# mid-scan cancel, clean SIGTERM exits), plus the in-process scan engine
+# and API-surface golden suites under the race detector.
+scan-smoke:
+	$(GO) test -race -count=1 -run 'RouterScanSmoke|APISurface|Readme' ./cmd/router ./cmd/servd ./internal/api
+	$(GO) test -race -count=1 ./internal/scan
 
 # Simulator determinism + replay gate: a seeded simulation must render
 # byte-identically across runs, a recorded trace must replay to the exact

@@ -63,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tracePath  = fs.String("trace", "", "replay this recorded JSONL trace instead of generating a workload")
 		recordPath = fs.String("record", "", "save the generated workload as a JSONL trace and exit")
 
+		scanTiles  = fs.Int("scan-tiles", 0, "generate a scan-shaped workload of this many tiles instead of random traffic (first -mix model, first -slo class)")
+		scanWindow = fs.Int("scan-window", 8, "with -scan-tiles: the scan's in-flight tile window")
+		scanPace   = fs.Duration("scan-pace", 2*time.Millisecond, "with -scan-tiles: per-tile completion pace once the window is full")
+
 		modelDir = fs.String("models", "", "directory of .dnnx containers (default: built-in stock ResNet-18 as \"paper\")")
 		device   = fs.String("device", "cortexA76cpu", "latmeter device predictor for service times")
 
@@ -133,6 +137,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "replaying %d recorded arrivals from %s\n", len(arrivals), *tracePath)
+	} else if *scanTiles > 0 {
+		class, err := route.ParseClass(classShares[0].Key)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		sw := sim.ScanWorkload{
+			Model: shares[0].Key, Class: class,
+			Tiles: *scanTiles, Window: *scanWindow, Pace: *scanPace,
+			C: c, S: h,
+		}
+		if arrivals, err = sw.Arrivals(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "scan workload: %d tiles of %s, window %d, pace %s\n",
+			*scanTiles, sw.Model, *scanWindow, *scanPace)
 	} else {
 		var clients []sim.Client
 		for _, cs := range classShares {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/dataset"
 	"drainnas/internal/geodata"
 	"drainnas/internal/infer"
@@ -51,6 +52,12 @@ func main() {
 		loadBatch    = flag.Int("load-max-batch", 8, "serving MaxBatch during the load drive")
 		loadDelay    = flag.Duration("load-max-delay", 2*time.Millisecond, "serving MaxDelay during the load drive")
 		loadQueueCap = flag.Int("load-queue", 256, "serving queue capacity during the load drive")
+
+		url         = flag.String("url", "", "drive a running servd/router tier at this base URL instead of an in-process server (the tier must already serve -model)")
+		remoteModel = flag.String("model", "", "model key to request in remote mode (default: the trained config's key)")
+		apiKey      = flag.String("api-key", "", "API key for a remote tier running with -keys")
+		slo         = flag.String("slo", "", "SLO class for remote requests through a router (batch, standard, interactive)")
+		precision   = flag.String("precision", "", "precision selector for remote requests (fp32, int8)")
 	)
 	flag.Parse()
 
@@ -164,10 +171,21 @@ func main() {
 	fmt.Printf("  mean %.2f ms  std %.2f ms\n", pred.MeanMS, pred.StdMS)
 
 	if *load > 0 {
-		driveLoad(buf.Bytes(), cfg, data, loadOptions{
+		opts := loadOptions{
 			requests: *load, clients: *loadClients,
 			maxBatch: *loadBatch, maxDelay: *loadDelay, queueCap: *loadQueueCap,
-		})
+		}
+		if *url != "" {
+			key := *remoteModel
+			if key == "" {
+				key = cfg.Key()
+			}
+			driveRemote(data, opts, remoteOptions{
+				url: *url, model: key, apiKey: *apiKey, slo: *slo, precision: *precision,
+			})
+		} else {
+			driveLoad(buf.Bytes(), cfg, data, opts)
+		}
 	}
 }
 
@@ -241,5 +259,74 @@ func driveLoad(container []byte, cfg resnet.Config, data *dataset.Dataset, opts 
 		float64(served.Load())/wall.Seconds(), rejected.Load(), failed.Load())
 	fmt.Printf("  batches %d  mean batch %.2f  max queue depth %d  queue wait p99 %.2fms\n",
 		snap.Batches, snap.MeanBatch, snap.MaxQueueDepth, snap.QueueWait.P99MS)
+	fmt.Print(report.LatencyBars("  client-observed latency", hist.Snapshot(), 40))
+}
+
+type remoteOptions struct {
+	url, model, apiKey, slo, precision string
+}
+
+// driveRemote fires the same concurrent request stream at a running tier
+// over HTTP through the typed api.Client — the deployment-sizing drill for a
+// fleet you cannot link into the process. The client retries transient
+// capacity rejections (queue_full, throttled, quota_exceeded) twice with
+// backoff, so the reported rejection count is what survives the retry
+// policy, matching what a production caller would see.
+func driveRemote(data *dataset.Dataset, opts loadOptions, remote remoteOptions) {
+	client := api.NewClient(remote.url, api.ClientOptions{
+		APIKey: remote.apiKey, Retries: 2, RetryBackoff: 50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	health, err := client.Health(ctx)
+	if err != nil {
+		log.Fatalf("deploy: remote health check: %v", err)
+	}
+	fmt.Printf("\nremote tier %s: status=%s models=%v\n", client.Base(), health.Status, health.Models)
+
+	fmt.Printf("remote load test: %d requests, %d clients against %q\n",
+		opts.requests, opts.clients, remote.model)
+	reqs := make([]api.PredictRequest, opts.clients)
+	for i := range reqs {
+		x, _ := data.Batch([]int{i % data.Len()})
+		reqs[i] = api.PredictRequest{
+			Model: remote.model, Shape: x.Shape()[1:], Data: x.Data(),
+			SLO: remote.slo, Precision: remote.precision,
+		}
+	}
+
+	hist := metrics.NewHistogram()
+	var served, rejected, failed atomic.Int64
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for c := 0; c < opts.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for range next {
+				t0 := time.Now()
+				_, err := client.Predict(ctx, reqs[c])
+				switch code := api.ErrorCode(err); {
+				case err == nil:
+					served.Add(1)
+					hist.Observe(time.Since(t0))
+				case code == api.CodeQueueFull || code == api.CodeThrottled || code == api.CodeQuotaExceeded:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < opts.requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("  served %d/%d in %s (%.1f req/s), rejected %d, failed %d\n",
+		served.Load(), opts.requests, wall.Round(time.Millisecond),
+		float64(served.Load())/wall.Seconds(), rejected.Load(), failed.Load())
 	fmt.Print(report.LatencyBars("  client-observed latency", hist.Snapshot(), 40))
 }

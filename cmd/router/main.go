@@ -13,12 +13,20 @@
 //	POST /v1/predict   {"model","shape","data","slo"?,"precision"?} ->
 //	                   {"model","precision","class","logits","batch_size",
 //	                    "queued_ms","total_ms","replica","hedged"?}
+//	POST /v1/scan      start a whole-watershed scan job whose tiles fan
+//	                   across the fleet under the request's SLO class;
+//	                   GET /v1/scan/{id} polls, GET /v1/scan/{id}/events
+//	                   streams NDJSON (?from= resumes), DELETE cancels
 //	GET  /v1/stats     routing counters (per policy/class/replica) plus the
 //	                   fleet's aggregated serving counters
 //	GET  /v1/metrics   the same in Prometheus text exposition format
 //	GET  /v1/healthz   liveness + replica fleet size and policy
 //	GET  /v1/dashboard live dashboard (WebSocket at /v1/dashboard/ws, SSE
 //	                   fallback at /v1/dashboard/events)
+//
+// The unversioned /healthz and /metrics aliases are deprecated: responses
+// carry a Deprecation header and a Link to the successor, and the aliases
+// are scheduled for removal (see README).
 //
 // Errors reuse the shared envelope; the router adds two codes on top of
 // servd's set: throttled (429, token-bucket admission) and no_replicas
@@ -51,11 +59,13 @@ import (
 	"syscall"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/infer"
 	"drainnas/internal/latmeter"
 	"drainnas/internal/metrics"
 	"drainnas/internal/route"
+	"drainnas/internal/scan"
 	"drainnas/internal/serve"
 	"drainnas/internal/tenant"
 )
@@ -249,51 +259,51 @@ func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, model
 	mux := http.NewServeMux()
 
 	var predict http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var req httpx.PredictRequest
-		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
+		var req api.PredictRequest
+		body := http.MaxBytesReader(w, r.Body, api.MaxPredictBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, fmt.Sprintf("bad request body: %v", err))
+			httpx.Error(w, http.StatusBadRequest, api.CodeBadInput, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
 		class, err := route.ParseClass(req.SLO)
 		if err != nil {
-			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			httpx.Error(w, http.StatusBadRequest, api.CodeBadInput, err.Error())
 			return
 		}
 		input, err := req.Tensor()
 		if err != nil {
-			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			httpx.Error(w, http.StatusBadRequest, api.CodeBadInput, err.Error())
 			return
 		}
 		key, err := req.ResolveKey()
 		if err != nil {
-			httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, err.Error())
+			httpx.Error(w, http.StatusBadRequest, api.CodeBadInput, err.Error())
 			return
 		}
 		resp, err := router.SubmitClass(r.Context(), class, key, input)
 		if err != nil {
-			status, code := http.StatusInternalServerError, httpx.CodeInternal
+			status, code := http.StatusInternalServerError, api.CodeInternal
 			switch {
 			case errors.Is(err, route.ErrThrottled):
-				status, code = http.StatusTooManyRequests, httpx.CodeThrottled
+				status, code = http.StatusTooManyRequests, api.CodeThrottled
 				w.Header().Set("Retry-After", "1")
 			case errors.Is(err, route.ErrNoReplicas):
-				status, code = http.StatusServiceUnavailable, httpx.CodeNoReplicas
+				status, code = http.StatusServiceUnavailable, api.CodeNoReplicas
 			case errors.Is(err, route.ErrClosed), errors.Is(err, serve.ErrClosed):
-				status, code = http.StatusServiceUnavailable, httpx.CodeShuttingDown
+				status, code = http.StatusServiceUnavailable, api.CodeShuttingDown
 			case errors.Is(err, serve.ErrQueueFull):
-				status, code = http.StatusTooManyRequests, httpx.CodeQueueFull
+				status, code = http.StatusTooManyRequests, api.CodeQueueFull
 				w.Header().Set("Retry-After", "1")
 			case errors.Is(err, serve.ErrModelNotFound):
-				status, code = http.StatusNotFound, httpx.CodeModelNotFound
+				status, code = http.StatusNotFound, api.CodeModelNotFound
 			case errors.Is(err, r.Context().Err()):
-				status, code = http.StatusServiceUnavailable, httpx.CodeCanceled
+				status, code = http.StatusServiceUnavailable, api.CodeCanceled
 			}
 			httpx.Error(w, status, code, err.Error())
 			return
 		}
-		model, precision := httpx.SplitServedModel(resp.Model)
-		httpx.WriteJSON(w, http.StatusOK, httpx.PredictResponse{
+		model, precision := api.SplitServedModel(resp.Model)
+		httpx.WriteJSON(w, http.StatusOK, api.PredictResponse{
 			Model:     model,
 			Precision: precision,
 			Class:     resp.Class,
@@ -310,21 +320,37 @@ func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, model
 	}
 	mux.Handle("POST /v1/predict", predict)
 
+	// Whole-watershed scan jobs fan their tiles across the replica fleet;
+	// the job's SLO string picks the dispatch class (batch is the natural
+	// choice for a bulk scan).
+	scanStats := &metrics.ScanStats{}
+	scans := scan.NewManager(scanStats, scan.DefaultMaxRunning)
+	scan.Register(mux, scans, edge, func(req api.ScanRequest) (scan.Backend, error) {
+		class, err := route.ParseClass(req.SLO)
+		if err != nil {
+			return nil, err
+		}
+		return scan.RouterBackend{R: router, Class: class}, nil
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		ids := make([]string, 0, 8)
 		for _, rep := range router.Replicas() {
 			ids = append(ids, rep.ID())
 		}
-		stats := map[string]any{
-			"router":   router.Stats().Snapshot(),
-			"serving":  serving.Snapshot(),
-			"replicas": ids,
-			"policy":   router.Policy().Name(),
-			"waiting":  router.Waiting(),
+		stats := api.RouterStats{
+			Router:   router.Stats().Snapshot(),
+			Serving:  serving.Snapshot(),
+			Replicas: ids,
+			Policy:   router.Policy().Name(),
+			Waiting:  router.Waiting(),
 		}
+		sc := scanStats.Snapshot()
+		stats.Scan = &sc
 		if edge != nil {
-			stats["tenant"] = edge.Stats().Snapshot()
-			stats["fair"] = edge.Fair().SnapshotFair()
+			tn := edge.Stats().Snapshot()
+			fair := edge.Fair().SnapshotFair()
+			stats.Tenant, stats.Fair = &tn, &fair
 		}
 		httpx.WriteJSON(w, http.StatusOK, stats)
 	})
@@ -343,6 +369,7 @@ func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, model
 		e := metrics.NewExpositionWriter(w)
 		router.Stats().Snapshot().WriteProm(e)
 		serving.Snapshot().WriteProm(e)
+		scanStats.Snapshot().WriteProm(e)
 		if edge != nil {
 			edge.Stats().Snapshot().WriteProm(e)
 		}
@@ -351,14 +378,14 @@ func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, model
 		}
 	}
 	mux.HandleFunc("GET /v1/metrics", handleMetrics)
-	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics", httpx.Deprecated("router", "/metrics", "/v1/metrics", handleMetrics))
 
 	handleHealthz := func(w http.ResponseWriter, r *http.Request) {
 		reps := router.Replicas()
 		if len(reps) == 0 {
-			httpx.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"status": "degraded",
-				"error":  "no replicas",
+			httpx.WriteJSON(w, http.StatusServiceUnavailable, api.HealthResponse{
+				Status: "degraded",
+				Error:  "no replicas",
 			})
 			return
 		}
@@ -366,15 +393,15 @@ func newAPIWithTenant(router *route.Router, serving *metrics.ServingStats, model
 		if err != nil {
 			keys = nil // a pure proxy tier has no local model directory
 		}
-		httpx.WriteJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"replicas": len(reps),
-			"policy":   router.Policy().Name(),
-			"models":   keys,
+		httpx.WriteJSON(w, http.StatusOK, api.HealthResponse{
+			Status:   "ok",
+			Replicas: len(reps),
+			Policy:   router.Policy().Name(),
+			Models:   keys,
 		})
 	}
 	mux.HandleFunc("GET /v1/healthz", handleHealthz)
-	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /healthz", httpx.Deprecated("router", "/healthz", "/v1/healthz", handleHealthz))
 
 	return mux
 }

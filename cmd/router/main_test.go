@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/metrics"
 	"drainnas/internal/onnxsize"
@@ -55,7 +56,7 @@ func writeModels(t *testing.T, dir string) resnet.Config {
 func predictBody(t *testing.T, model, slo string) []byte {
 	t.Helper()
 	x := tensor.RandNormal(tensor.NewRNG(5), 1, 3, 16, 16)
-	b, err := json.Marshal(httpx.PredictRequest{Model: model, Shape: []int{3, 16, 16}, Data: x.Data(), SLO: slo})
+	b, err := json.Marshal(api.PredictRequest{Model: model, Shape: []int{3, 16, 16}, Data: x.Data(), SLO: slo})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRouterAPIPredictStatsHealth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var pr httpx.PredictResponse
+		var pr api.PredictResponse
 		err = json.NewDecoder(resp.Body).Decode(&pr)
 		resp.Body.Close()
 		if err != nil {
@@ -190,14 +191,14 @@ func TestRouterAPIErrorMapping(t *testing.T) {
 	ts := httptest.NewServer(httpx.AccessLog("router", newAPI(router, serving, dir)))
 	defer ts.Close()
 
-	postEnvelope := func(body []byte) (int, httpx.ErrorEnvelope) {
+	postEnvelope := func(body []byte) (int, api.ErrorEnvelope) {
 		t.Helper()
 		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var env httpx.ErrorEnvelope
+		var env api.ErrorEnvelope
 		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 			t.Fatalf("error body is not the envelope: %v", err)
 		}
@@ -210,7 +211,7 @@ func TestRouterAPIErrorMapping(t *testing.T) {
 	if status, env := postEnvelope([]byte("{not json")); status != http.StatusBadRequest || env.Error.Code != "bad_input" {
 		t.Fatalf("bad json -> %d %q", status, env.Error.Code)
 	}
-	bad, _ := json.Marshal(httpx.PredictRequest{Model: "tiny", Shape: []int{3, 16, 16}, Data: make([]float32, 768), SLO: "turbo"})
+	bad, _ := json.Marshal(api.PredictRequest{Model: "tiny", Shape: []int{3, 16, 16}, Data: make([]float32, 768), SLO: "turbo"})
 	if status, env := postEnvelope(bad); status != http.StatusBadRequest || env.Error.Code != "bad_input" {
 		t.Fatalf("unknown slo -> %d %q", status, env.Error.Code)
 	}
@@ -254,7 +255,7 @@ func TestRouterAPIThrottledAndNoReplicas(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	var env httpx.ErrorEnvelope
+	var env api.ErrorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestRouterAPIThrottledAndNoReplicas(t *testing.T) {
 	if resp2.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("empty-fleet predict -> %d, want 503", resp2.StatusCode)
 	}
-	var env2 httpx.ErrorEnvelope
+	var env2 api.ErrorEnvelope
 	if err := json.NewDecoder(resp2.Body).Decode(&env2); err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +432,7 @@ func TestRouterSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		var pr httpx.PredictResponse
+		var pr api.PredictResponse
 		err = json.NewDecoder(resp.Body).Decode(&pr)
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
@@ -567,7 +568,7 @@ func TestRouterServesInt8Precision(t *testing.T) {
 	defer ts.Close()
 
 	x := tensor.RandNormal(tensor.NewRNG(5), 1, 3, 16, 16)
-	body, err := json.Marshal(httpx.PredictRequest{
+	body, err := json.Marshal(api.PredictRequest{
 		Model: "tiny", Precision: "int8",
 		Shape: []int{3, 16, 16}, Data: x.Data(),
 	})
@@ -582,7 +583,7 @@ func TestRouterServesInt8Precision(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("int8 predict status %d", resp.StatusCode)
 	}
-	var pr httpx.PredictResponse
+	var pr api.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		t.Fatal(err)
 	}

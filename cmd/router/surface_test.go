@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"drainnas/internal/api"
+	"drainnas/internal/metrics"
+	"drainnas/internal/route"
+	"drainnas/internal/tenant"
+)
+
+// TestRouterAPISurfaceRoutes walks every route internal/api registers for
+// the router tier against the real mux: each must be mounted (no
+// ServeMux-level plain-text 404/405), deprecated aliases must carry the
+// Deprecation header and successor Link, and current routes must not.
+func TestRouterAPISurfaceRoutes(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	router, serving, _ := testFleet(t, dir, 1, route.Options{})
+	ts := httptest.NewServer(newAPI(router, serving, dir))
+	defer ts.Close()
+
+	for _, rt := range api.RoutesFor("router") {
+		path := strings.ReplaceAll(rt.Path, "{id}", "scan-surface-0")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		var body *strings.Reader
+		if rt.Method == http.MethodPost {
+			body = strings.NewReader("{}")
+		} else {
+			body = strings.NewReader("")
+		}
+		req, err := http.NewRequestWithContext(ctx, rt.Method, ts.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			cancel()
+			t.Fatalf("%s %s: %v", rt.Method, rt.Path, err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		if resp.StatusCode == http.StatusNotFound && strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s %s: not mounted (mux 404)", rt.Method, rt.Path)
+		}
+		if resp.StatusCode == http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: method not allowed — registry and mux disagree", rt.Method, rt.Path)
+		}
+		dep := resp.Header.Get("Deprecation")
+		if rt.Deprecated {
+			if dep != "true" {
+				t.Errorf("%s %s: deprecated alias missing Deprecation header (got %q)", rt.Method, rt.Path, dep)
+			}
+			if link := resp.Header.Get("Link"); !strings.Contains(link, rt.Successor) {
+				t.Errorf("%s %s: Link %q does not name successor %s", rt.Method, rt.Path, link, rt.Successor)
+			}
+		} else if dep != "" {
+			t.Errorf("%s %s: unexpected Deprecation header %q on a current route", rt.Method, rt.Path, dep)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+}
+
+// checkRouterEnvelope pins the JSON error envelope against internal/api:
+// exactly {"error": {code, message, request_id?}}, a code from
+// api.KnownCodes, and the HTTP status that registry pins for it.
+func checkRouterEnvelope(t *testing.T, name string, resp *http.Response, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	var top map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatalf("%s: decoding envelope: %v", name, err)
+	}
+	if len(top) != 1 || top["error"] == nil {
+		t.Fatalf("%s: top-level envelope has %d keys, want exactly [error]", name, len(top))
+	}
+	var errBody map[string]json.RawMessage
+	if err := json.Unmarshal(top["error"], &errBody); err != nil {
+		t.Fatalf("%s: decoding error body: %v", name, err)
+	}
+	for k := range errBody {
+		switch k {
+		case "code", "message", "request_id":
+		default:
+			t.Errorf("%s: unexpected error field %q", name, k)
+		}
+	}
+	var code, msg string
+	if err := json.Unmarshal(errBody["code"], &code); err != nil {
+		t.Fatalf("%s: error.code: %v", name, err)
+	}
+	if err := json.Unmarshal(errBody["message"], &msg); err != nil {
+		t.Fatalf("%s: error.message: %v", name, err)
+	}
+	if msg == "" {
+		t.Errorf("%s: empty error.message", name)
+	}
+	wantStatus, known := api.KnownCodes[code]
+	if !known {
+		t.Fatalf("%s: code %q not in api.KnownCodes", name, code)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Errorf("%s: status %d, but api.KnownCodes pins %q to %d", name, resp.StatusCode, code, wantStatus)
+	}
+	if code != wantCode {
+		t.Errorf("%s: code %q, want %q", name, code, wantCode)
+	}
+}
+
+// TestRouterAPISurfaceErrorEnvelopes drives every cheaply reachable error
+// code through the open router mux, including the router-only paths: a bad
+// SLO class (rejected by the scan backend factory and the predict
+// dispatcher alike) and an empty fleet's no_replicas.
+func TestRouterAPISurfaceErrorEnvelopes(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	router, serving, _ := testFleet(t, dir, 1, route.Options{})
+	ts := httptest.NewServer(newAPI(router, serving, dir))
+	defer ts.Close()
+
+	scanBody := `{"model":"tiny","slo":"warp-speed","region":"Nebraska","tile_size":64,"chip_size":16}`
+	cases := []struct {
+		name, method, path, body, code string
+	}{
+		{"predict garbage body", "POST", "/v1/predict", "{", api.CodeBadInput},
+		{"predict bad slo", "POST", "/v1/predict", string(predictBody(t, "tiny", "warp-speed")), api.CodeBadInput},
+		{"predict unknown model", "POST", "/v1/predict", string(predictBody(t, "ghost", "batch")), api.CodeModelNotFound},
+		{"scan start bad slo", "POST", "/v1/scan", scanBody, api.CodeBadInput},
+		{"scan status unknown id", "GET", "/v1/scan/scan-404", "", api.CodeScanNotFound},
+		{"scan cancel unknown id", "DELETE", "/v1/scan/scan-404", "", api.CodeScanNotFound},
+		{"scan events unknown id", "GET", "/v1/scan/scan-404/events", "", api.CodeScanNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRouterEnvelope(t, tc.name, resp, tc.code)
+	}
+
+	// An empty fleet rejects a well-formed predict with no_replicas; that
+	// is a router-tier-only code.
+	empty := route.New(route.Options{})
+	defer empty.Close()
+	ts2 := httptest.NewServer(newAPI(empty, &metrics.ServingStats{}, dir))
+	defer ts2.Close()
+	resp, err := http.Post(ts2.URL+"/v1/predict", "application/json",
+		strings.NewReader(string(predictBody(t, "tiny", "batch"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRouterEnvelope(t, "predict with empty fleet", resp, api.CodeNoReplicas)
+}
+
+// TestRouterAPISurfaceUnauthorized pins the 401 envelope once the edge
+// tier is mounted in front of the router mux.
+func TestRouterAPISurfaceUnauthorized(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir)
+	router, serving, _ := testFleet(t, dir, 1, route.Options{})
+
+	keyPath := filepath.Join(dir, "keys.json")
+	keyJSON := `{"tenants": [{"name": "acme", "key": "acme-secret-key"}]}`
+	if err := os.WriteFile(keyPath, []byte(keyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := tenant.LoadTier(keyPath, time.Minute, 2, "router-surface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newAPIWithTenant(router, serving, dir, edge, time.Second))
+	defer ts.Close()
+
+	for _, tc := range []struct{ name, method, path, body string }{
+		{"predict without key", "POST", "/v1/predict", "{}"},
+		{"scan start without key", "POST", "/v1/scan", "{}"},
+		{"scan status without key", "GET", "/v1/scan/scan-404", ""},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRouterEnvelope(t, tc.name, resp, api.CodeUnauthorized)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/route"
 	"drainnas/internal/tenant"
@@ -62,12 +63,12 @@ func TestRouterTenantTier(t *testing.T) {
 	if resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("status %d, want 401", resp.StatusCode)
 	}
-	var env httpx.ErrorEnvelope
+	var env api.ErrorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if env.Error.Code != httpx.CodeUnauthorized {
+	if env.Error.Code != api.CodeUnauthorized {
 		t.Fatalf("code %q, want unauthorized", env.Error.Code)
 	}
 
@@ -77,7 +78,7 @@ func TestRouterTenantTier(t *testing.T) {
 		b, _ := io.ReadAll(resp.Body)
 		t.Fatalf("authed predict status %d: %s", resp.StatusCode, b)
 	}
-	var pr httpx.PredictResponse
+	var pr api.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRouterTenantTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if env.Error.Code != httpx.CodeQuotaExceeded {
+	if env.Error.Code != api.CodeQuotaExceeded {
 		t.Fatalf("code %q, want quota_exceeded", env.Error.Code)
 	}
 

@@ -6,8 +6,9 @@
 // bounded queue, batched per (model, spatial size), and executed on a
 // worker pool through the standalone inference runtime.
 //
-// API (canonical paths under /v1/; /healthz and /metrics remain as
-// unversioned aliases for probes and scrapers configured before the move):
+// API (canonical paths under /v1/; the unversioned /healthz and /metrics
+// aliases are deprecated — responses carry a Deprecation header and a Link
+// to the successor, and the aliases are scheduled for removal, see README):
 //
 //	POST /v1/predict   {"model":"name","shape":[C,H,W],"data":[...],
 //	                    "precision":"int8"?}
@@ -16,6 +17,13 @@
 //	                   precision selects the deployment arithmetic: "int8"
 //	                   serves the post-training-quantized form of the same
 //	                   container (equivalently, model "name@int8")
+//	POST /v1/scan      start a whole-watershed scan job: every chip-sized
+//	                   window of a synthesized watershed is classified
+//	                   through the batcher and reassembled into an ordered
+//	                   crossing heat map (202 + job document)
+//	GET  /v1/scan/{id}        poll the job document
+//	GET  /v1/scan/{id}/events NDJSON event stream, ?from=<seq> resumes
+//	DELETE /v1/scan/{id}      cancel; in-flight tiles drain first
 //	GET  /v1/stats     serving counters + model cache + infer plan/session
 //	                   counters + GEMM kernel counters
 //	GET  /v1/metrics   the same counters in Prometheus text exposition
@@ -64,9 +72,11 @@ import (
 	"syscall"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/infer"
 	"drainnas/internal/metrics"
+	"drainnas/internal/scan"
 	"drainnas/internal/serve"
 	"drainnas/internal/sim"
 	"drainnas/internal/tenant"
@@ -210,9 +220,9 @@ func listModels(dir string) ([]string, error) { return serve.ListModels(dir) }
 // internal/httpx; the aliases keep servd's handlers and tests on their
 // historical names.
 type (
-	predictRequest  = httpx.PredictRequest
-	predictResponse = httpx.PredictResponse
-	errorEnvelope   = httpx.ErrorEnvelope
+	predictRequest  = api.PredictRequest
+	predictResponse = api.PredictResponse
+	errorEnvelope   = api.ErrorEnvelope
 )
 
 // newAPI builds the HTTP handler over a serving core. Split from main so
@@ -241,7 +251,7 @@ func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, 
 
 	var predict http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
-		body := http.MaxBytesReader(w, r.Body, httpx.MaxPredictBodyBytes)
+		body := http.MaxBytesReader(w, r.Body, api.MaxPredictBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, codeBadInput, fmt.Sprintf("bad request body: %v", err))
 			return
@@ -277,7 +287,7 @@ func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, 
 			httpError(w, status, code, err.Error())
 			return
 		}
-		model, precision := httpx.SplitServedModel(resp.Model)
+		model, precision := api.SplitServedModel(resp.Model)
 		writeJSON(w, http.StatusOK, predictResponse{
 			Model:     model,
 			Precision: precision,
@@ -293,19 +303,29 @@ func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, 
 	}
 	mux.Handle("POST /v1/predict", predict)
 
+	// Whole-watershed scan jobs run against this process's serving core.
+	scanStats := &metrics.ScanStats{}
+	scans := scan.NewManager(scanStats, scan.DefaultMaxRunning)
+	scan.Register(mux, scans, edge, func(api.ScanRequest) (scan.Backend, error) {
+		return scan.ServerBackend{S: srv}, nil
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		stats := map[string]any{
-			"serving": srv.Stats().Snapshot(),
-			"cache":   srv.Cache().Stats(),
-			"queue":   srv.QueueDepth(),
-			"infer":   metrics.Infer.Snapshot(),
-			"kernel":  metrics.Kernel.Snapshot(),
-			"gemm":    tensor.GemmKernelName(),
-			"qgemm":   tensor.QGemmKernelName(),
+		stats := api.ServdStats{
+			Serving: srv.Stats().Snapshot(),
+			Cache:   srv.Cache().Stats(),
+			Queue:   srv.QueueDepth(),
+			Infer:   metrics.Infer.Snapshot(),
+			Kernel:  metrics.Kernel.Snapshot(),
+			Gemm:    tensor.GemmKernelName(),
+			QGemm:   tensor.QGemmKernelName(),
 		}
+		sc := scanStats.Snapshot()
+		stats.Scan = &sc
 		if edge != nil {
-			stats["tenant"] = edge.Stats().Snapshot()
-			stats["fair"] = edge.Fair().SnapshotFair()
+			tn := edge.Stats().Snapshot()
+			fair := edge.Fair().SnapshotFair()
+			stats.Tenant, stats.Fair = &tn, &fair
 		}
 		writeJSON(w, http.StatusOK, stats)
 	})
@@ -326,6 +346,7 @@ func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, 
 		writeCacheProm(e, srv.Cache().Stats())
 		metrics.Infer.Snapshot().WriteProm(e)
 		metrics.Kernel.Snapshot().WriteProm(e)
+		scanStats.Snapshot().WriteProm(e)
 		if edge != nil {
 			edge.Stats().Snapshot().WriteProm(e)
 		}
@@ -334,26 +355,26 @@ func newAPIWithTenant(srv *serve.Server, modelDir string, rec *sim.TraceWriter, 
 		}
 	}
 	mux.HandleFunc("GET /v1/metrics", handleMetrics)
-	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics", httpx.Deprecated("servd", "/metrics", "/v1/metrics", handleMetrics))
 
 	handleHealthz := func(w http.ResponseWriter, r *http.Request) {
 		keys, err := listModels(modelDir)
 		if err != nil {
 			// An unreadable model directory means every predict will 404 or
 			// 500: say so instead of reporting ok with zero models.
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"status": "degraded",
-				"error":  err.Error(),
+			writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{
+				Status: "degraded",
+				Error:  err.Error(),
 			})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"models": keys,
+		writeJSON(w, http.StatusOK, api.HealthResponse{
+			Status: "ok",
+			Models: keys,
 		})
 	}
 	mux.HandleFunc("GET /v1/healthz", handleHealthz)
-	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /healthz", httpx.Deprecated("servd", "/healthz", "/v1/healthz", handleHealthz))
 
 	return mux
 }
@@ -373,12 +394,12 @@ func writeCacheProm(e *metrics.ExpositionWriter, cs serve.CacheStats) {
 // shared with cmd/router; the aliases keep servd's handlers on their
 // historical names.
 const (
-	codeBadInput      = httpx.CodeBadInput
-	codeModelNotFound = httpx.CodeModelNotFound
-	codeQueueFull     = httpx.CodeQueueFull
-	codeShuttingDown  = httpx.CodeShuttingDown
-	codeCanceled      = httpx.CodeCanceled
-	codeInternal      = httpx.CodeInternal
+	codeBadInput      = api.CodeBadInput
+	codeModelNotFound = api.CodeModelNotFound
+	codeQueueFull     = api.CodeQueueFull
+	codeShuttingDown  = api.CodeShuttingDown
+	codeCanceled      = api.CodeCanceled
+	codeInternal      = api.CodeInternal
 )
 
 func httpError(w http.ResponseWriter, status int, code, msg string) {

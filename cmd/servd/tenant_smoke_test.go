@@ -15,7 +15,7 @@ import (
 	"testing"
 	"time"
 
-	"drainnas/internal/httpx"
+	"drainnas/internal/api"
 	"drainnas/internal/tenant"
 )
 
@@ -99,7 +99,7 @@ func TestServdTenantSmoke(t *testing.T) {
 		if resp.StatusCode != http.StatusUnauthorized {
 			t.Fatalf("key %q: status %d, want 401", key, resp.StatusCode)
 		}
-		if code := envelopeCode(t, resp); code != httpx.CodeUnauthorized {
+		if code := envelopeCode(t, resp); code != api.CodeUnauthorized {
 			t.Fatalf("key %q: code %q, want unauthorized", key, code)
 		}
 	}
@@ -118,7 +118,7 @@ func TestServdTenantSmoke(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("429 without Retry-After")
 	}
-	if code := envelopeCode(t, resp); code != httpx.CodeQuotaExceeded {
+	if code := envelopeCode(t, resp); code != api.CodeQuotaExceeded {
 		t.Fatalf("over-quota code %q, want quota_exceeded", code)
 	}
 

@@ -1,0 +1,75 @@
+// Package api is the single source of truth for the /v1/ wire surface both
+// serving front ends (cmd/servd and cmd/router) expose: every request and
+// response struct, the unified error envelope with its stable code set, the
+// scan-job types, and a typed Go client with context, retries and typed
+// errors. It was extracted when the whole-watershed scan API arrived —
+// until then five packages (servd, router, deploy, capsim's replayer and
+// the router's HTTP fan-out adapter) each hand-rolled the same structs, and
+// wire drift between them could only be caught by a user.
+//
+// Layering: api sits below the transport plumbing (internal/httpx renders
+// the envelope and stamps request IDs) and above nothing HTTP-specific —
+// it may import the snapshot types it carries (internal/metrics,
+// internal/serve) but never a front end or middleware package, so every
+// tier can depend on it without cycles.
+package api
+
+// Stable machine-readable error codes; clients branch on these, the
+// message is for humans. Documented in the README endpoint table — adding
+// a code is fine, renaming one is a breaking change.
+const (
+	CodeBadInput      = "bad_input"
+	CodeModelNotFound = "model_not_found"
+	CodeQueueFull     = "queue_full"
+	CodeThrottled     = "throttled"
+	CodeNoReplicas    = "no_replicas"
+	CodeShuttingDown  = "shutting_down"
+	CodeCanceled      = "canceled"
+	CodeInternal      = "internal"
+	// CodeUnauthorized (401) and CodeQuotaExceeded (429) belong to the
+	// multi-tenant edge tier: a missing/unknown API key, and a valid tenant
+	// over its own token-bucket quota (distinct from queue_full/throttled,
+	// which are global capacity limits).
+	CodeUnauthorized  = "unauthorized"
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeScanNotFound (404) is an unknown scan-job ID; CodeScanLimit (429)
+	// means the job table is at its concurrent-scan bound.
+	CodeScanNotFound = "scan_not_found"
+	CodeScanLimit    = "scan_limit"
+)
+
+// KnownCodes enumerates every stable error code with the HTTP status each
+// is written under. The golden API-surface tests walk this table, so a
+// front end inventing a code (or reusing one under a new status) fails CI
+// instead of a client.
+var KnownCodes = map[string]int{
+	CodeBadInput:      400,
+	CodeUnauthorized:  401,
+	CodeModelNotFound: 404,
+	CodeScanNotFound:  404,
+	CodeQueueFull:     429,
+	CodeThrottled:     429,
+	CodeQuotaExceeded: 429,
+	CodeScanLimit:     429,
+	CodeNoReplicas:    503,
+	CodeShuttingDown:  503,
+	CodeCanceled:      503,
+	CodeInternal:      500,
+}
+
+// ErrorEnvelope is the unified error body every front end writes.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries one error: a stable code, a human message, and the
+// request ID so a client can quote it back from either the header or body.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// MaxPredictBodyBytes bounds a predict request body; a 7x512x512 fp32 chip
+// is ~7.3 MB of floats, JSON-encoded ≈5x that, so 64 MB is generous.
+const MaxPredictBodyBytes = 64 << 20

@@ -1,4 +1,4 @@
-package httpx
+package api
 
 import (
 	"fmt"
@@ -6,10 +6,6 @@ import (
 	"drainnas/internal/infer"
 	"drainnas/internal/tensor"
 )
-
-// MaxPredictBodyBytes bounds a predict request body; a 7x512x512 fp32 chip
-// is ~7.3 MB of floats, JSON-encoded ≈5x that, so 64 MB is generous.
-const MaxPredictBodyBytes = 64 << 20
 
 // PredictRequest is the POST /v1/predict body both front ends accept. SLO
 // is honored by the router tier ("batch", "standard", "interactive";
@@ -30,19 +26,26 @@ type PredictRequest struct {
 // ResolveKey combines Model and Precision into the canonical serving key
 // ("name" for fp32, "name@int8" for int8) the loader and model cache use.
 func (req PredictRequest) ResolveKey() (string, error) {
-	name, keyPrec, err := infer.ParseModelKey(req.Model)
+	return ResolveServingKey(req.Model, req.Precision)
+}
+
+// ResolveServingKey combines a model name (which may itself carry an
+// "@precision" suffix) and a precision string into the canonical serving
+// key; conflicting suffix and precision is an error.
+func ResolveServingKey(model, precision string) (string, error) {
+	name, keyPrec, err := infer.ParseModelKey(model)
 	if err != nil {
 		return "", err
 	}
-	if req.Precision == "" {
+	if precision == "" {
 		return infer.ModelKey(name, keyPrec), nil
 	}
-	prec, err := infer.ParsePrecision(req.Precision)
+	prec, err := infer.ParsePrecision(precision)
 	if err != nil {
 		return "", err
 	}
 	if keyPrec != infer.PrecisionFP32 && keyPrec != prec {
-		return "", fmt.Errorf("model %q and precision %q conflict", req.Model, req.Precision)
+		return "", fmt.Errorf("model %q and precision %q conflict", model, precision)
 	}
 	return infer.ModelKey(name, prec), nil
 }

@@ -1,0 +1,144 @@
+package geodata
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func chipDigest(c Chip) [32]byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int64(c.Label))
+	binary.Write(&buf, binary.LittleEndian, c.Bands)
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestWatershedDeterminism pins that (region, size, seed) fully determines
+// the synthesized watershed: bands, crossing list, and grid truth.
+func TestWatershedDeterminism(t *testing.T) {
+	region, _ := RegionByName("Nebraska")
+	a := GenerateWatershed(region, 128, 42)
+	b := GenerateWatershed(region, 128, 42)
+	if !bytes.Equal(float32Bytes(a.Bands), float32Bytes(b.Bands)) {
+		t.Fatal("same seed produced different bands")
+	}
+	if len(a.Crossings) != len(b.Crossings) {
+		t.Fatalf("crossing lists differ: %d vs %d", len(a.Crossings), len(b.Crossings))
+	}
+	c := GenerateWatershed(region, 128, 43)
+	if bytes.Equal(float32Bytes(a.Bands), float32Bytes(c.Bands)) {
+		t.Fatal("different seeds produced identical bands")
+	}
+}
+
+func float32Bytes(f []float32) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, f)
+	return buf.Bytes()
+}
+
+// TestGridDeterministicUnderConcurrency is the regression for scan
+// reproducibility: many goroutines cropping cells in scrambled order must
+// produce byte-identical chips (and identical IDs) to a sequential
+// row-major walk.
+func TestGridDeterministicUnderConcurrency(t *testing.T) {
+	region, _ := RegionByName("Illinois")
+	tile := GenerateWatershed(region, 160, 7)
+	grid, err := tile.Grid(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.W != 5 || grid.H != 5 || grid.Cells() != 25 {
+		t.Fatalf("grid %dx%d", grid.W, grid.H)
+	}
+
+	sequential := make([][32]byte, grid.Cells())
+	for y := 0; y < grid.H; y++ {
+		for x := 0; x < grid.W; x++ {
+			sequential[grid.ChipID(x, y)] = chipDigest(grid.ChipAt(x, y))
+		}
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		concurrent := make([][32]byte, grid.Cells())
+		var wg sync.WaitGroup
+		// Reverse order, all cells at once: worst case for any hidden
+		// visit-order dependence.
+		for id := grid.Cells() - 1; id >= 0; id-- {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				x, y := id%grid.W, id/grid.W
+				concurrent[id] = chipDigest(grid.ChipAt(x, y))
+			}(id)
+		}
+		wg.Wait()
+		for id := range sequential {
+			if concurrent[id] != sequential[id] {
+				t.Fatalf("trial %d: cell %d differs between sequential and concurrent crops", trial, id)
+			}
+		}
+	}
+}
+
+// TestGridTruth checks the truth accounting: every stamped crossing inside
+// some cell makes that cell positive, ChipAt labels agree with
+// CellHasCrossing, and a non-overlapping grid's truth count is bounded by
+// the stamped crossing count.
+func TestGridTruth(t *testing.T) {
+	region, _ := RegionByName("California")
+	tile := GenerateWatershed(region, 256, 11)
+	grid, err := tile.Grid(32, 0) // stride defaults to chip size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Stride != 32 {
+		t.Fatalf("stride default = %d", grid.Stride)
+	}
+	if len(tile.Crossings) == 0 {
+		t.Fatal("watershed has no crossings; scan smoke would be vacuous")
+	}
+	truth := grid.TruthCrossings()
+	if truth == 0 {
+		t.Fatal("no grid cell contains a crossing")
+	}
+	if truth > len(tile.Crossings) {
+		t.Fatalf("truth %d exceeds stamped crossings %d on a non-overlapping grid", truth, len(tile.Crossings))
+	}
+	for y := 0; y < grid.H; y++ {
+		for x := 0; x < grid.W; x++ {
+			chip := grid.ChipAt(x, y)
+			want := 0
+			if grid.CellHasCrossing(x, y) {
+				want = 1
+			}
+			if chip.Label != want {
+				t.Fatalf("cell (%d,%d): label %d, truth %d", x, y, chip.Label, want)
+			}
+		}
+	}
+}
+
+// TestChipTensor checks the 5- and 7-channel layouts match the corpus band
+// selection.
+func TestChipTensor(t *testing.T) {
+	region, _ := RegionByName("Nebraska")
+	tile := GenerateWatershed(region, 64, 3)
+	grid, err := tile.Grid(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := grid.ChipAt(1, 2)
+	for _, ch := range []int{5, 7} {
+		x := chip.Tensor(ch)
+		shape := x.Shape()
+		if shape[0] != 1 || shape[1] != ch || shape[2] != 16 || shape[3] != 16 {
+			t.Fatalf("channels %d: shape %v", ch, shape)
+		}
+		if !bytes.Equal(float32Bytes(x.Data()), float32Bytes(chip.Bands[:ch*16*16])) {
+			t.Fatalf("channels %d: data does not match band-major prefix", ch)
+		}
+	}
+}

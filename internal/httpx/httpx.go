@@ -1,11 +1,11 @@
 // Package httpx is the HTTP plumbing shared by the serving front ends
-// (cmd/servd and cmd/router): the /v1/ error envelope with stable
-// machine-readable codes, request-ID minting and propagation, the
-// access-log middleware, and the predict wire types. It was extracted from
-// cmd/servd when the router tier arrived so both tiers speak byte-identical
-// JSON — a client (or the router's own HTTP fan-out adapter) cannot tell
-// which tier produced an envelope, and an X-Request-ID minted at the router
-// follows the request through every replica's access log.
+// (cmd/servd and cmd/router): rendering the internal/api error envelope,
+// request-ID minting and propagation, the access-log middleware, and the
+// deprecation-header wrapper for legacy unversioned aliases. It was
+// extracted from cmd/servd when the router tier arrived so both tiers speak
+// byte-identical JSON, and slimmed again when the wire types themselves
+// moved to internal/api — httpx is transport plumbing only; the structs on
+// the wire are defined in exactly one place.
 package httpx
 
 import (
@@ -17,52 +17,39 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"drainnas/internal/api"
 )
-
-// Stable machine-readable error codes; clients branch on these, the message
-// is for humans. Documented in the README endpoint table — adding a code is
-// fine, renaming one is a breaking change.
-const (
-	CodeBadInput      = "bad_input"
-	CodeModelNotFound = "model_not_found"
-	CodeQueueFull     = "queue_full"
-	CodeThrottled     = "throttled"
-	CodeNoReplicas    = "no_replicas"
-	CodeShuttingDown  = "shutting_down"
-	CodeCanceled      = "canceled"
-	CodeInternal      = "internal"
-	// CodeUnauthorized (401) and CodeQuotaExceeded (429) belong to the
-	// multi-tenant edge tier: a missing/unknown API key, and a valid tenant
-	// over its own token-bucket quota (distinct from queue_full/throttled,
-	// which are global capacity limits).
-	CodeUnauthorized  = "unauthorized"
-	CodeQuotaExceeded = "quota_exceeded"
-)
-
-// ErrorEnvelope is the unified error body every front end writes.
-type ErrorEnvelope struct {
-	Error ErrorBody `json:"error"`
-}
-
-// ErrorBody carries one error: a stable code, a human message, and the
-// request ID so a client can quote it back from either the header or body.
-type ErrorBody struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	RequestID string `json:"request_id,omitempty"`
-}
 
 // Error writes the unified error envelope. The request ID comes from the
 // X-Request-ID response header that AccessLog stamps before the handler
 // runs, so the body matches what the client can quote back from the header.
 func Error(w http.ResponseWriter, status int, code, msg string) {
-	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+	WriteJSON(w, status, api.ErrorEnvelope{Error: api.ErrorBody{
 		Code:      code,
 		Message:   msg,
 		RequestID: w.Header().Get("X-Request-ID"),
 	}})
+}
+
+// Deprecated wraps a legacy alias handler: every response carries a
+// Deprecation header (RFC 8594 style) and a Link to the successor route,
+// and the first hit logs a one-time migration warning — so probes and
+// scrape configs keep working while their owners get a signal to move.
+func Deprecated(service, alias, successor string, h http.HandlerFunc) http.HandlerFunc {
+	var once sync.Once
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		once.Do(func() {
+			log.Printf("%s: deprecated alias %s was hit; clients should move to %s (alias scheduled for removal, see README)",
+				service, alias, successor)
+		})
+		h(w, r)
+	}
 }
 
 // WriteJSON writes v as a JSON response with the given status.

@@ -11,7 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"drainnas/internal/httpx"
+	"drainnas/internal/api"
 	"drainnas/internal/serve"
 	"drainnas/internal/tensor"
 )
@@ -95,7 +95,7 @@ func (r *HTTPReplica) Submit(ctx context.Context, model string, input *tensor.Te
 	if err != nil {
 		return serve.Response{}, err
 	}
-	body, err := json.Marshal(httpx.PredictRequest{Model: model, Shape: shape, Data: data})
+	body, err := json.Marshal(api.PredictRequest{Model: model, Shape: shape, Data: data})
 	if err != nil {
 		return serve.Response{}, fmt.Errorf("route: encoding predict request: %w", err)
 	}
@@ -120,13 +120,13 @@ func (r *HTTPReplica) Submit(ctx context.Context, model string, input *tensor.Te
 	}()
 
 	if resp.StatusCode != http.StatusOK {
-		var env httpx.ErrorEnvelope
+		var env api.ErrorEnvelope
 		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 			return serve.Response{}, fmt.Errorf("route: replica %s: status %d", r.id, resp.StatusCode)
 		}
 		return serve.Response{}, replicaError(r.id, resp.StatusCode, env.Error)
 	}
-	var pr httpx.PredictResponse
+	var pr api.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		return serve.Response{}, fmt.Errorf("route: replica %s: decoding response: %w", r.id, err)
 	}
@@ -143,14 +143,14 @@ func (r *HTTPReplica) Submit(ctx context.Context, model string, input *tensor.Te
 // replicaError maps a remote error envelope back onto the typed sentinels
 // local submission produces, so the router (and its clients) get identical
 // error semantics from both transports.
-func replicaError(id string, status int, body httpx.ErrorBody) error {
+func replicaError(id string, status int, body api.ErrorBody) error {
 	base := fmt.Errorf("route: replica %s: %s (%s)", id, body.Message, body.Code)
 	switch body.Code {
-	case httpx.CodeQueueFull:
+	case api.CodeQueueFull:
 		return errors.Join(serve.ErrQueueFull, base)
-	case httpx.CodeModelNotFound:
+	case api.CodeModelNotFound:
 		return errors.Join(serve.ErrModelNotFound, base)
-	case httpx.CodeShuttingDown:
+	case api.CodeShuttingDown:
 		return errors.Join(serve.ErrClosed, base)
 	default:
 		return base

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/route"
 	"drainnas/internal/serve"
@@ -19,7 +20,7 @@ import (
 // the flattened CHW payload, and the remote predict response maps back onto
 // serve.Response with millisecond fields rehydrated to durations.
 func TestHTTPReplicaRoundTrip(t *testing.T) {
-	var got httpx.PredictRequest
+	var got api.PredictRequest
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost || r.URL.Path != "/v1/predict" {
 			t.Errorf("request = %s %s, want POST /v1/predict", r.Method, r.URL.Path)
@@ -27,7 +28,7 @@ func TestHTTPReplicaRoundTrip(t *testing.T) {
 		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
 			t.Errorf("decoding request: %v", err)
 		}
-		httpx.WriteJSON(w, http.StatusOK, httpx.PredictResponse{
+		httpx.WriteJSON(w, http.StatusOK, api.PredictResponse{
 			Model: got.Model, Class: 1, Logits: []float32{0.2, 0.8},
 			BatchSize: 4, QueuedMS: 1.5, TotalMS: 12,
 		})
@@ -72,15 +73,15 @@ func TestHTTPReplicaErrorMapping(t *testing.T) {
 		code   string
 		want   error
 	}{
-		{http.StatusTooManyRequests, httpx.CodeQueueFull, serve.ErrQueueFull},
-		{http.StatusNotFound, httpx.CodeModelNotFound, serve.ErrModelNotFound},
-		{http.StatusServiceUnavailable, httpx.CodeShuttingDown, serve.ErrClosed},
+		{http.StatusTooManyRequests, api.CodeQueueFull, serve.ErrQueueFull},
+		{http.StatusNotFound, api.CodeModelNotFound, serve.ErrModelNotFound},
+		{http.StatusServiceUnavailable, api.CodeShuttingDown, serve.ErrClosed},
 	}
 	for _, tc := range cases {
 		t.Run(tc.code, func(t *testing.T) {
 			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-				httpx.WriteJSON(w, tc.status, httpx.ErrorEnvelope{
-					Error: httpx.ErrorBody{Code: tc.code, Message: "injected"},
+				httpx.WriteJSON(w, tc.status, api.ErrorEnvelope{
+					Error: api.ErrorBody{Code: tc.code, Message: "injected"},
 				})
 			}))
 			defer srv.Close()
@@ -98,8 +99,8 @@ func TestHTTPReplicaErrorMapping(t *testing.T) {
 
 	// An unknown code stays an opaque error: not retry-exempt, not a sentinel.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		httpx.WriteJSON(w, http.StatusBadRequest, httpx.ErrorEnvelope{
-			Error: httpx.ErrorBody{Code: httpx.CodeBadInput, Message: "bad"},
+		httpx.WriteJSON(w, http.StatusBadRequest, api.ErrorEnvelope{
+			Error: api.ErrorBody{Code: api.CodeBadInput, Message: "bad"},
 		})
 	}))
 	defer srv.Close()

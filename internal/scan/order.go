@@ -1,0 +1,79 @@
+// Package scan is the whole-watershed streaming inference pipeline: it
+// walks a tiled region from internal/geodata in a locality-preserving
+// order, fans chip-classification requests into the serving tier (an
+// in-process serve.Server, a route.Router fleet, or a remote tier through
+// api.Client) under a bounded sliding window with per-tile retry, and
+// reassembles the ordered drainage-crossing heat map while streaming
+// progress events. The job layer (Manager/Job) exposes the pipeline as the
+// /v1/scan job API both front ends mount.
+//
+// Ordering is the load-bearing guarantee: tile events are emitted strictly
+// in walk order regardless of how the window's concurrency completes them,
+// and tile IDs derive from grid position alone, so the same request yields
+// a byte-identical heat map on every run, at any concurrency.
+package scan
+
+import (
+	"fmt"
+
+	"drainnas/internal/api"
+)
+
+// Cell is one grid position in a walk.
+type Cell struct{ X, Y int }
+
+// Walk returns the tile visit order for a w×h grid. Row-major is the plain
+// raster; Hilbert maps the grid onto a Hilbert curve over the enclosing
+// power-of-two square (skipping cells outside the grid), preserving 2-D
+// locality in the 1-D request stream so consecutive requests hit
+// neighboring terrain.
+func Walk(order string, w, h int) ([]Cell, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("scan: grid %dx%d is empty", w, h)
+	}
+	switch order {
+	case api.ScanOrderRowMajor:
+		cells := make([]Cell, 0, w*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				cells = append(cells, Cell{x, y})
+			}
+		}
+		return cells, nil
+	case api.ScanOrderHilbert:
+		n := 1
+		for n < w || n < h {
+			n *= 2
+		}
+		cells := make([]Cell, 0, w*h)
+		for d := 0; d < n*n; d++ {
+			x, y := hilbertD2XY(n, d)
+			if x < w && y < h {
+				cells = append(cells, Cell{x, y})
+			}
+		}
+		return cells, nil
+	}
+	return nil, fmt.Errorf("scan: unknown order %q", order)
+}
+
+// hilbertD2XY converts a distance along the Hilbert curve of an n×n square
+// (n a power of two) to coordinates — the classic bit-twiddling form.
+func hilbertD2XY(n, d int) (x, y int) {
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}

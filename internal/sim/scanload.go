@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"drainnas/internal/route"
+)
+
+// ScanWorkload describes a whole-watershed scan as a capsim arrival
+// stream: one model scanned tile by tile under one SLO class, paced the
+// way internal/scan's bounded sliding window paces it — the first Window
+// tiles arrive together, then one tile per Pace as completions free
+// window slots. Unlike the random workloads it uses no RNG: a spatial
+// scan is maximally correlated load, the exact opposite of Poisson
+// traffic, which is what makes it worth simulating against the same
+// batcher and router configuration.
+type ScanWorkload struct {
+	Model  string
+	Class  route.SLOClass
+	Tiles  int
+	Window int
+	// Pace is the assumed per-tile completion interval once the window is
+	// full (roughly the backend's batch-1 service time).
+	Pace time.Duration
+	// C, S are the chip channels and side (metadata in traces, like
+	// Client.C/H/W).
+	C, S int
+}
+
+// Arrivals expands the scan into its deterministic arrival stream.
+func (s ScanWorkload) Arrivals() ([]Arrival, error) {
+	if s.Tiles <= 0 {
+		return nil, fmt.Errorf("sim: scan workload needs tiles > 0, got %d", s.Tiles)
+	}
+	window := s.Window
+	if window <= 0 {
+		window = 8
+	}
+	if s.Pace < 0 {
+		return nil, fmt.Errorf("sim: scan pace %v, want >= 0", s.Pace)
+	}
+	out := make([]Arrival, 0, s.Tiles)
+	for i := 0; i < s.Tiles; i++ {
+		var at time.Duration
+		if i >= window {
+			at = time.Duration(i-window+1) * s.Pace
+		}
+		out = append(out, Arrival{At: at, Model: s.Model, Class: s.Class, C: s.C, H: s.S, W: s.S})
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"drainnas/internal/route"
+)
+
+func TestScanWorkloadArrivals(t *testing.T) {
+	s := ScanWorkload{
+		Model: "paper", Class: route.ClassBatch,
+		Tiles: 12, Window: 4, Pace: 2 * time.Millisecond,
+		C: 5, S: 64,
+	}
+	arr, err := s.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 12 {
+		t.Fatalf("got %d arrivals, want 12", len(arr))
+	}
+	// The first window lands at t=0; each later tile is paced one slot on.
+	for i := 0; i < 4; i++ {
+		if arr[i].At != 0 {
+			t.Fatalf("arrival %d at %v, want 0 (inside the initial window)", i, arr[i].At)
+		}
+	}
+	for i := 4; i < 12; i++ {
+		want := time.Duration(i-3) * 2 * time.Millisecond
+		if arr[i].At != want {
+			t.Fatalf("arrival %d at %v, want %v", i, arr[i].At, want)
+		}
+		if arr[i].At <= arr[i-1].At && i > 4 {
+			t.Fatalf("arrivals not strictly paced at %d", i)
+		}
+	}
+	for _, a := range arr {
+		if a.Model != "paper" || a.Class != route.ClassBatch || a.C != 5 || a.H != 64 || a.W != 64 {
+			t.Fatalf("arrival metadata %+v", a)
+		}
+	}
+	// Determinism: same description, same stream.
+	arr2, _ := s.Arrivals()
+	for i := range arr {
+		if arr[i] != arr2[i] {
+			t.Fatalf("arrival %d differs across expansions", i)
+		}
+	}
+}
+
+func TestScanWorkloadValidation(t *testing.T) {
+	if _, err := (ScanWorkload{Tiles: 0}).Arrivals(); err == nil {
+		t.Fatal("want error for zero tiles")
+	}
+	if _, err := (ScanWorkload{Tiles: 4, Pace: -time.Millisecond}).Arrivals(); err == nil {
+		t.Fatal("want error for negative pace")
+	}
+	// Window defaults apply.
+	arr, err := (ScanWorkload{Model: "m", Tiles: 10, Pace: time.Millisecond}).Arrivals()
+	if err != nil || arr[7].At != 0 || arr[8].At == 0 {
+		t.Fatalf("default window: err=%v arr[7]=%v arr[8]=%v", err, arr[7].At, arr[8].At)
+	}
+}

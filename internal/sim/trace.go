@@ -12,7 +12,7 @@ import (
 	"sync"
 	"time"
 
-	"drainnas/internal/httpx"
+	"drainnas/internal/api"
 	"drainnas/internal/route"
 	"drainnas/internal/tensor"
 )
@@ -280,7 +280,7 @@ func ReplayHTTP(ctx context.Context, client *http.Client, baseURL string, events
 		for i := range data {
 			data[i] = rng.Float32()
 		}
-		body, err := json.Marshal(httpx.PredictRequest{
+		body, err := json.Marshal(api.PredictRequest{
 			Model: a.Model, Shape: []int{a.C, a.H, a.W}, Data: data,
 			SLO: a.Class.String(),
 		})

@@ -11,7 +11,7 @@ import (
 	"testing"
 	"time"
 
-	"drainnas/internal/httpx"
+	"drainnas/internal/api"
 	"drainnas/internal/latmeter"
 )
 
@@ -139,7 +139,7 @@ func TestReplayHTTPPacesAndPosts(t *testing.T) {
 	var mu atomic.Int64
 	var got [][]byte
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var req httpx.PredictRequest
+		var req api.PredictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			t.Errorf("replay body: %v", err)
 		}

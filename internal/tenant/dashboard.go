@@ -6,17 +6,14 @@ import (
 	"net/http"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
-	"drainnas/internal/metrics"
 )
 
-// FairSnapshot is the fair gate's slice of a dashboard frame.
-type FairSnapshot struct {
-	Capacity int            `json:"capacity"`
-	InUse    int            `json:"in_use"`
-	Waiting  int            `json:"waiting"`
-	Depths   map[string]int `json:"depths,omitempty"`
-}
+// FairSnapshot is the fair gate's slice of a dashboard frame. The struct
+// itself is a /v1/ wire type and therefore lives in internal/api; the
+// alias keeps the gate's snapshot surface on its historical name.
+type FairSnapshot = api.FairStats
 
 // SnapshotFair captures the gate state (zero-valued for a nil gate).
 func (q *FairQueue) SnapshotFair() FairSnapshot {
@@ -30,13 +27,9 @@ func (q *FairQueue) SnapshotFair() FairSnapshot {
 
 // DashboardSnapshot is one live-dashboard frame: what the serving mux is
 // doing (queue depth, batch shapes, latency), the per-tenant edge counters,
-// and the fair gate's backlog, stamped with the emitting service.
-type DashboardSnapshot struct {
-	Service string                  `json:"service"`
-	Serving metrics.ServingSnapshot `json:"serving"`
-	Tenants metrics.TenantSnapshot  `json:"tenants"`
-	Fair    FairSnapshot            `json:"fair"`
-}
+// and the fair gate's backlog, stamped with the emitting service. Defined
+// in internal/api with the rest of the wire surface.
+type DashboardSnapshot = api.DashboardSnapshot
 
 // Dashboard serves the live view: an HTML shell at /v1/dashboard, a
 // WebSocket stream at /v1/dashboard/ws, and a Server-Sent-Events fallback
@@ -73,7 +66,7 @@ func (d *Dashboard) authorize(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	d.tier.stats.Unauthorized()
-	httpx.Error(w, http.StatusUnauthorized, httpx.CodeUnauthorized,
+	httpx.Error(w, http.StatusUnauthorized, api.CodeUnauthorized,
 		"dashboard requires a valid API key (header or ?key=)")
 	return false
 }
@@ -123,7 +116,7 @@ func (d *Dashboard) handleSSE(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpx.Error(w, http.StatusInternalServerError, httpx.CodeInternal,
+		httpx.Error(w, http.StatusInternalServerError, api.CodeInternal,
 			"response writer does not support streaming")
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/metrics"
 	"drainnas/internal/route/routetest"
@@ -205,7 +206,7 @@ func TestDashboardAuthGate(t *testing.T) {
 	if resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("status %d, want 401", resp.StatusCode)
 	}
-	if e := decodeError(t, resp.Body); e.Code != httpx.CodeUnauthorized {
+	if e := decodeError(t, resp.Body); e.Code != api.CodeUnauthorized {
 		t.Fatalf("code %q", e.Code)
 	}
 	resp.Body.Close()

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/metrics"
 	"drainnas/internal/route"
@@ -144,6 +145,22 @@ func FromContext(ctx context.Context) (Tenant, bool) {
 	return tn, ok
 }
 
+// Allow debits one request token from tn's bucket, reporting whether the
+// tenant is under quota (always true for unlimited tenants and a nil
+// tier). This is the admission hook for bulk consumers outside the HTTP
+// pipeline — a whole-watershed scan debits one token per tile it
+// dispatches, so a scan job is quota-accounted like the equivalent predict
+// stream rather than as a single request.
+func (t *Tier) Allow(tn Tenant) bool {
+	if t == nil {
+		return true
+	}
+	if tb := t.bucketFor(tn); tb != nil {
+		return tb.Allow()
+	}
+	return true
+}
+
 // bucketFor returns the tenant's token bucket, rebuilding it when a reload
 // changed the quota. A nil bucket means the tenant is unlimited.
 func (t *Tier) bucketFor(tn Tenant) *route.TokenBucket {
@@ -168,7 +185,7 @@ func peekClass(r *http.Request) route.SLOClass {
 	if r.Body == nil || r.Method != http.MethodPost {
 		return route.ClassStandard
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, httpx.MaxPredictBodyBytes+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, api.MaxPredictBodyBytes+1))
 	r.Body.Close()
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	if err != nil {
@@ -204,7 +221,7 @@ func (t *Tier) Wrap(h http.Handler) http.Handler {
 		if !ok {
 			t.stats.Unauthorized()
 			t.audit(r, w, "-", "deny_auth", http.StatusUnauthorized)
-			httpx.Error(w, http.StatusUnauthorized, httpx.CodeUnauthorized,
+			httpx.Error(w, http.StatusUnauthorized, api.CodeUnauthorized,
 				"missing or unknown API key (use Authorization: Bearer <key> or X-API-Key)")
 			return
 		}
@@ -212,7 +229,7 @@ func (t *Tier) Wrap(h http.Handler) http.Handler {
 			t.stats.QuotaExceeded(tn.Name)
 			t.audit(r, w, tn.Name, "deny_quota", http.StatusTooManyRequests)
 			w.Header().Set("Retry-After", "1")
-			httpx.Error(w, http.StatusTooManyRequests, httpx.CodeQuotaExceeded,
+			httpx.Error(w, http.StatusTooManyRequests, api.CodeQuotaExceeded,
 				"tenant "+tn.Name+" is over its request quota")
 			return
 		}
@@ -223,7 +240,7 @@ func (t *Tier) Wrap(h http.Handler) http.Handler {
 			wait := t.clock.Now().Sub(start)
 			t.stats.Failed(tn.Name, wait, wait)
 			t.audit(r, w, tn.Name, "admit", http.StatusServiceUnavailable)
-			httpx.Error(w, http.StatusServiceUnavailable, httpx.CodeCanceled,
+			httpx.Error(w, http.StatusServiceUnavailable, api.CodeCanceled,
 				"request canceled while queued for admission")
 			return
 		}

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"drainnas/internal/api"
 	"drainnas/internal/httpx"
 	"drainnas/internal/metrics"
 	"drainnas/internal/route/routetest"
@@ -33,9 +34,9 @@ func newTestTier(t *testing.T, clock *routetest.FakeClock, inflight int) (*Tier,
 	return NewTier(TierOptions{Auth: auth, Inflight: inflight, Stats: stats, Clock: clock, Service: "test"}), stats
 }
 
-func decodeError(t *testing.T, body io.Reader) httpx.ErrorBody {
+func decodeError(t *testing.T, body io.Reader) api.ErrorBody {
 	t.Helper()
-	var env httpx.ErrorEnvelope
+	var env api.ErrorEnvelope
 	if err := json.NewDecoder(body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +61,8 @@ func TestTierRejectsUnauthenticated(t *testing.T) {
 		if rr.Code != http.StatusUnauthorized {
 			t.Fatalf("status %d, want 401", rr.Code)
 		}
-		if e := decodeError(t, rr.Body); e.Code != httpx.CodeUnauthorized {
-			t.Fatalf("code %q, want %q", e.Code, httpx.CodeUnauthorized)
+		if e := decodeError(t, rr.Body); e.Code != api.CodeUnauthorized {
+			t.Fatalf("code %q, want %q", e.Code, api.CodeUnauthorized)
 		}
 	}
 	if inner != 0 {
@@ -97,8 +98,8 @@ func TestTierEnforcesQuota(t *testing.T) {
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("over-quota status %d, want 429", rr.Code)
 	}
-	if e := decodeError(t, rr.Body); e.Code != httpx.CodeQuotaExceeded {
-		t.Fatalf("code %q, want %q", e.Code, httpx.CodeQuotaExceeded)
+	if e := decodeError(t, rr.Body); e.Code != api.CodeQuotaExceeded {
+		t.Fatalf("code %q, want %q", e.Code, api.CodeQuotaExceeded)
 	}
 	if rr.Header().Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
@@ -203,7 +204,7 @@ func TestTierPreservesBody(t *testing.T) {
 func TestTierRecordsFailures(t *testing.T) {
 	tier, stats := newTestTier(t, routetest.NewFakeClock(), 1)
 	h := tier.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		httpx.Error(w, http.StatusBadRequest, httpx.CodeBadInput, "nope")
+		httpx.Error(w, http.StatusBadRequest, api.CodeBadInput, "nope")
 	}))
 	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader("{}"))
 	req.Header.Set("X-API-Key", "open-secret-key")
